@@ -1,0 +1,205 @@
+// Ablations over the design choices DESIGN.md calls out.
+//
+// The paper (5) names Block size, amplitude and smoothing cycle as the
+// tradeoff dimensions and leaves "a more effective scheme" as future work.
+// Each table below switches one design element off (or swaps it) and
+// measures the consequence on the channel or on the viewer.
+
+#include "baseline/naive.hpp"
+#include "bench_common.hpp"
+#include "core/link_runner.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace inframe;
+
+constexpr int width = 480;
+constexpr int height = 270;
+
+core::Link_experiment_config base_link(double duration)
+{
+    core::Link_experiment_config config;
+    config.video = video::make_sunrise_video(width, height);
+    config.inframe = core::paper_config(width, height);
+    config.inframe.geometry = coding::fitted_geometry(width, height, 2);
+    config.inframe.tau = 12;
+    config.camera.sensor_width = width;
+    config.camera.sensor_height = height;
+    config.duration_s = duration;
+    return config;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const auto scale = bench::parse_scale(argc, argv);
+    const double duration = bench::scale_duration(scale, 1.0, 2.0, 4.0);
+
+    // ------------------------------------------------------------------
+    bench::print_header("Ablation A: transition envelope (SRRC vs linear vs stair)",
+                        "the paper picked half square-root raised-cosine after comparing "
+                        "with linear and stair forms (3.2)");
+    {
+        util::Table table({"envelope", "flicker score (panel mean)", "stddev"});
+        for (const auto shape : {dsp::Transition_shape::srrc, dsp::Transition_shape::linear,
+                                 dsp::Transition_shape::stair}) {
+            core::Flicker_experiment_config config;
+            config.video = video::make_dark_gray_video(width, height);
+            config.inframe = core::paper_config(width, height);
+            config.inframe.delta = 30.0f;
+            config.inframe.tau = 10;
+            config.inframe.transition = shape;
+            config.duration_s = duration;
+            config.observers = 8;
+            config.options.max_sites = 512;
+            const auto result = core::run_flicker_experiment(config);
+            table.add_row({std::string(dsp::to_string(shape)), result.mean_score,
+                           result.stddev_score});
+        }
+        bench::print_table(table);
+    }
+
+    // ------------------------------------------------------------------
+    bench::print_header("Ablation B: detector (paper's noise-level vs matched filter)",
+                        "5 asks for 'a more effective scheme'; the matched filter is one — "
+                        "it exploits the known chessboard geometry on textured video");
+    {
+        util::Table table({"detector", "goodput kbps", "available GOBs", "block errors",
+                           "trusted-bit errors"});
+        for (const auto detector : {core::Detector::noise_level, core::Detector::matched}) {
+            auto config = base_link(duration);
+            config.detector = detector;
+            const auto result = core::run_link_experiment(config);
+            table.add_row({std::string(core::to_string(detector)), result.goodput_kbps,
+                           result.available_gob_ratio, result.block_error_rate,
+                           result.trusted_bit_error_rate});
+        }
+        bench::print_table(table);
+    }
+
+    // ------------------------------------------------------------------
+    bench::print_header("Ablation C: texture compensation (de-meaning) in the decoder",
+                        "3.3: 'to work around high-texture areas ... we further remove the "
+                        "mean absolute difference'");
+    {
+        util::Table table({"texture compensation", "goodput kbps", "available GOBs",
+                           "block errors"});
+        for (const bool on : {true, false}) {
+            auto config = base_link(duration);
+            config.texture_compensation = on;
+            const auto result = core::run_link_experiment(config);
+            table.add_row({std::string(on ? "on" : "off"), result.goodput_kbps,
+                           result.available_gob_ratio, result.block_error_rate});
+        }
+        bench::print_table(table);
+    }
+
+    // ------------------------------------------------------------------
+    bench::print_header("Ablation D: local amplitude capping near saturation",
+                        "3.3: near-white/black blocks must cap delta in both complementary "
+                        "frames or clamping breaks the cancellation and the viewer sees it");
+    {
+        util::Table table({"local cap", "flicker on bright video (score)", "stddev"});
+        for (const bool on : {true, false}) {
+            core::Flicker_experiment_config config;
+            config.video = std::make_shared<video::Solid_video>(width, height, 247.0f);
+            config.inframe = core::paper_config(width, height);
+            config.inframe.local_amplitude_cap = on;
+            config.duration_s = duration;
+            config.observers = 8;
+            config.options.max_sites = 512;
+            const auto result = core::run_flicker_experiment(config);
+            table.add_row({std::string(on ? "on" : "off"), result.mean_score,
+                           result.stddev_score});
+        }
+        bench::print_table(table);
+    }
+
+    // ------------------------------------------------------------------
+    bench::print_header("Ablation E: Pixel size p (spatial capacity vs channel robustness)",
+                        "3.3: p approximating the eye resolution minimizes phantom-array "
+                        "visibility; smaller p raises capacity but nears the camera's Nyquist");
+    {
+        util::Table table({"pixel size p", "raw kbps", "goodput kbps", "available GOBs",
+                           "phantom-array score (drifting gaze)"});
+        for (const int p : {1, 2, 3, 4}) {
+            auto config = base_link(duration);
+            config.video = video::make_dark_gray_video(width, height);
+            config.inframe.geometry = coding::fitted_geometry(width, height, p);
+            const auto link = core::run_link_experiment(config);
+
+            core::Flicker_experiment_config flicker;
+            flicker.video = video::make_dark_gray_video(width, height);
+            flicker.inframe = config.inframe;
+            flicker.duration_s = duration;
+            flicker.observers = 4;
+            flicker.options.max_sites = 384;
+            // Saccade-like gaze drift beats against the pattern (phantom
+            // array, 2): fixed drift speed, and a pooling aperture wide
+            // enough that Pixels at/below the eye's resolution fuse away.
+            flicker.options.gaze_velocity_x = 3.0;
+            flicker.options.pooling_sigma_540 = 4.0;
+            const auto phantom = core::run_flicker_experiment(flicker);
+
+            table.add_row({static_cast<long long>(p), link.raw_rate_kbps, link.goodput_kbps,
+                           link.available_gob_ratio, phantom.mean_score});
+        }
+        bench::print_table(table);
+    }
+
+    // ------------------------------------------------------------------
+    bench::print_header("Ablation F: decision hysteresis (unknown band width)",
+                        "wider deadband trades availability for fewer confident mistakes");
+    {
+        util::Table table({"hysteresis", "available GOBs", "GOB errors", "block errors",
+                           "goodput kbps"});
+        for (const double h : {0.0, 0.1, 0.2, 0.4}) {
+            auto config = base_link(duration);
+            config.hysteresis = h;
+            const auto result = core::run_link_experiment(config);
+            table.add_row({h, result.available_gob_ratio, result.gob_error_rate,
+                           result.block_error_rate, result.goodput_kbps});
+        }
+        bench::print_table(table);
+    }
+
+    // ------------------------------------------------------------------
+    bench::print_header("Ablation G: content survey (beyond the paper's three videos)",
+                        "how the channel behaves across content classes, both detectors");
+    {
+        util::Table table({"content", "detector", "goodput kbps", "available GOBs",
+                           "block errors"});
+        const std::vector<std::pair<std::string, std::shared_ptr<const video::Video_source>>>
+            sources = {
+                {"dark gray (paper)", video::make_dark_gray_video(width, height)},
+                {"sunrise (paper-like)", video::make_sunrise_video(width, height)},
+                {"slideshow (hard cuts)",
+                 std::make_shared<video::Slideshow_video>(width, height, 30)},
+                {"news ticker (text)",
+                 std::make_shared<video::Ticker_video>(width, height,
+                                                       "BREAKING: DUAL-MODE DISPLAYS", 3.0f)},
+                {"moving bars (motion)",
+                 std::make_shared<video::Moving_bars_video>(width, height, 40, 3.0f)},
+                {"white noise (worst case)",
+                 std::make_shared<video::Noise_video>(width, height, 127.0f, 30.0f)},
+            };
+        for (const auto& [label, source] : sources) {
+            for (const auto detector : {core::Detector::noise_level, core::Detector::matched}) {
+                auto config = base_link(duration);
+                config.video = source;
+                config.detector = detector;
+                const auto result = core::run_link_experiment(config);
+                table.add_row({label, std::string(core::to_string(detector)),
+                               result.goodput_kbps, result.available_gob_ratio,
+                               result.block_error_rate});
+            }
+        }
+        bench::print_table(table);
+    }
+
+    std::printf("done.\n");
+    return 0;
+}

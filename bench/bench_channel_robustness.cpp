@@ -1,0 +1,144 @@
+// Channel robustness sweeps.
+//
+// 3.3 names the screen-camera impairments the decoder must survive:
+// frame-rate mismatch, rolling shutter, poor capture quality. Each sweep
+// below dials one impairment while holding the rest at defaults.
+
+#include "bench_common.hpp"
+#include "core/link_runner.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace {
+
+using namespace inframe;
+
+constexpr int width = 480;
+constexpr int height = 270;
+
+core::Link_experiment_config base(double duration)
+{
+    core::Link_experiment_config config;
+    config.video = video::make_dark_gray_video(width, height);
+    config.inframe = core::paper_config(width, height);
+    config.inframe.geometry = coding::fitted_geometry(width, height, 2);
+    config.inframe.tau = 12;
+    config.camera.sensor_width = width;
+    config.camera.sensor_height = height;
+    config.auto_exposure = false; // sweeps set exposure explicitly
+    config.duration_s = duration;
+    return config;
+}
+
+void report(util::Table& table, const std::string& label,
+            const core::Link_experiment_result& result)
+{
+    table.add_row({label, result.goodput_kbps, result.available_gob_ratio,
+                   result.block_error_rate, result.trusted_bit_error_rate});
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const auto scale = bench::parse_scale(argc, argv);
+    const double duration = bench::scale_duration(scale, 1.0, 2.0, 4.0);
+
+    bench::print_header("Robustness 1: exposure time vs the complementary pair",
+                        "exposure near one display period integrates +D and -D together and "
+                        "cancels the data — the bright-screen/short-exposure requirement");
+    {
+        util::Table table({"exposure", "goodput kbps", "available GOBs", "block errors",
+                           "trusted-bit errors"});
+        for (const double denominator : {480.0, 360.0, 240.0, 180.0, 120.0}) {
+            auto config = base(duration);
+            config.camera.exposure_s = 1.0 / denominator;
+            report(table, "1/" + util::format_fixed(denominator, 0) + " s",
+                   core::run_link_experiment(config));
+        }
+        bench::print_table(table);
+    }
+
+    bench::print_header("Robustness 2: rolling-shutter readout skew",
+                        "longer readout widens the cancelled band of rows; GOB availability "
+                        "falls but decoded bits stay correct");
+    {
+        util::Table table({"readout skew", "goodput kbps", "available GOBs", "block errors",
+                           "trusted-bit errors"});
+        for (const double readout_ms : {0.0, 2.0, 4.0, 6.0, 10.0}) {
+            auto config = base(duration);
+            config.camera.readout_s = readout_ms / 1000.0;
+            report(table, util::format_fixed(readout_ms, 1) + " ms",
+                   core::run_link_experiment(config));
+        }
+        bench::print_table(table);
+    }
+
+    bench::print_header("Robustness 3: sensor noise (capture quality)",
+                        "noise raises the bit-0 residual floor toward the pattern level");
+    {
+        util::Table table({"shot-noise scale", "goodput kbps", "available GOBs", "block errors",
+                           "trusted-bit errors"});
+        for (const double shot : {0.0, 0.12, 0.25, 0.5, 0.8}) {
+            auto config = base(duration);
+            config.camera.shot_noise_scale = shot;
+            report(table, util::format_fixed(shot, 2), core::run_link_experiment(config));
+        }
+        bench::print_table(table);
+    }
+
+    bench::print_header("Robustness 4: camera/display frame-rate mismatch",
+                        "an unlocked camera clock drifts through the display phase; the "
+                        "decoder's time-based grouping must keep up");
+    {
+        util::Table table({"camera fps", "goodput kbps", "available GOBs", "block errors",
+                           "trusted-bit errors"});
+        for (const double fps : {30.0, 29.97, 29.5, 28.0, 25.0}) {
+            auto config = base(duration);
+            config.camera.fps = fps;
+            report(table, util::format_fixed(fps, 2), core::run_link_experiment(config));
+        }
+        bench::print_table(table);
+    }
+
+    bench::print_header("Robustness 5: optical blur",
+                        "defocus attenuates the chessboard (it lives near the camera's "
+                        "resolution limit) long before it hurts ordinary video");
+    {
+        util::Table table({"blur sigma (sensor px)", "goodput kbps", "available GOBs",
+                           "block errors", "trusted-bit errors"});
+        for (const double sigma : {0.0, 0.5, 1.0, 1.5, 2.5}) {
+            auto config = base(duration);
+            config.camera.optical_blur_sigma = sigma;
+            report(table, util::format_fixed(sigma, 1), core::run_link_experiment(config));
+        }
+        bench::print_table(table);
+    }
+
+    bench::print_header("Robustness 6: perspective viewing angle (extension)",
+                        "a calibrated homography shared by camera and matched-filter decoder "
+                        "keeps the channel alive at increasing keystone severity");
+    {
+        util::Table table({"keystone inset (px of 480)", "goodput kbps", "available GOBs",
+                           "block errors", "trusted-bit errors"});
+        for (const double inset : {0.0, 10.0, 25.0, 45.0}) {
+            auto config = base(duration);
+            config.detector = core::Detector::matched;
+            // Screen quad on the sensor: top corners pulled inward.
+            const std::array<double, 8> quad = {inset,          inset * 0.4,
+                                                width - inset,  inset * 0.5,
+                                                width - 2.0,    height - 2.0,
+                                                2.0,            height - 3.0};
+            const auto sensor_to_screen =
+                img::Homography::rect_to_quad(width, height, quad).inverse();
+            config.camera.sensor_to_screen = sensor_to_screen;
+            config.decoder_capture_to_screen = sensor_to_screen;
+            report(table, util::format_fixed(inset, 0), core::run_link_experiment(config));
+        }
+        bench::print_table(table);
+    }
+
+    std::printf("done.\n");
+    return 0;
+}

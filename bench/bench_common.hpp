@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace inframe::bench {
+
+// Scale of an experiment run, selectable from the command line:
+//   --quick : fastest sanity pass
+//   (none)  : default, balances fidelity and runtime
+//   --full  : longest runs (closest statistics)
+enum class Run_scale { quick, normal, full };
+
+inline Run_scale parse_scale(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) return Run_scale::quick;
+        if (std::strcmp(argv[i], "--full") == 0) return Run_scale::full;
+    }
+    return Run_scale::normal;
+}
+
+inline double scale_duration(Run_scale scale, double quick, double normal, double full)
+{
+    switch (scale) {
+    case Run_scale::quick: return quick;
+    case Run_scale::normal: return normal;
+    case Run_scale::full: return full;
+    }
+    return normal;
+}
+
+inline void print_header(const char* figure, const char* paper_statement)
+{
+    std::printf("================================================================\n");
+    std::printf("%s\n", figure);
+    std::printf("paper: %s\n", paper_statement);
+    std::printf("================================================================\n\n");
+}
+
+inline void print_table(const util::Table& table)
+{
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace inframe::bench

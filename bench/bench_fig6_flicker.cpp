@@ -1,0 +1,84 @@
+// Figure 6 — subjective flicker perception (simulated panel).
+//
+// Left: flicker score vs the solid video's brightness (60-200) at
+// delta = 20 and delta = 50. The paper finds scores below 1 on average,
+// rising with brightness.
+// Right: flicker score vs amplitude delta (20/30/50) for smoothing cycles
+// tau = 10/12/14. Longer cycles reduce perceived flicker; larger
+// amplitudes need longer cycles.
+//
+// The 8-person user study is replaced by the calibrated observer panel of
+// src/hvs (see DESIGN.md for the substitution argument).
+
+#include "bench_common.hpp"
+#include "core/link_runner.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace {
+
+using namespace inframe;
+
+hvs::Panel_result run_panel(float brightness, float delta, int tau, double duration)
+{
+    constexpr int width = 480;
+    constexpr int height = 270;
+    core::Flicker_experiment_config config;
+    config.video = std::make_shared<video::Solid_video>(width, height, brightness);
+    config.inframe = core::paper_config(width, height);
+    config.inframe.delta = delta;
+    config.inframe.tau = tau;
+    config.duration_s = duration;
+    config.observers = 8;
+    config.options.max_sites = 512;
+    return core::run_flicker_experiment(config);
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace inframe;
+    const auto scale = bench::parse_scale(argc, argv);
+    const double duration = bench::scale_duration(scale, 1.0, 2.0, 3.0);
+
+    bench::print_header("Figure 6 (left): flicker perception vs color brightness",
+                        "scores stay mostly at 0-1 ('satisfactory'); flicker strengthens as "
+                        "the video turns brighter, and delta = 50 sits above delta = 20");
+
+    {
+        util::Table table({"brightness", "delta=20 mean", "delta=20 std", "delta=50 mean",
+                           "delta=50 std"});
+        for (const float brightness : {60.0f, 80.0f, 100.0f, 120.0f, 140.0f, 160.0f, 180.0f,
+                                       200.0f}) {
+            const auto low = run_panel(brightness, 20.0f, 12, duration);
+            const auto high = run_panel(brightness, 50.0f, 12, duration);
+            table.add_row({static_cast<double>(brightness), low.mean_score, low.stddev_score,
+                           high.mean_score, high.stddev_score});
+        }
+        bench::print_table(table);
+    }
+
+    bench::print_header("Figure 6 (right): flicker perception vs waveform amplitude",
+                        "larger tau reduces perceived flicker; delta <= 20 with tau >= 10 keeps "
+                        "viewing clean");
+    {
+        util::Table table({"delta", "tau=10 mean", "tau=10 std", "tau=12 mean", "tau=12 std",
+                           "tau=14 mean", "tau=14 std"});
+        for (const float delta : {20.0f, 30.0f, 50.0f}) {
+            std::vector<util::Table::Cell> row{static_cast<double>(delta)};
+            for (const int tau : {10, 12, 14}) {
+                const auto result = run_panel(127.0f, delta, tau, duration);
+                row.emplace_back(result.mean_score);
+                row.emplace_back(result.stddev_score);
+            }
+            table.add_row(std::move(row));
+        }
+        bench::print_table(table);
+    }
+
+    std::printf("scale: 0 = no difference, 1 = almost unnoticeable, 2 = merely noticeable,\n"
+                "3 = evident flicker, 4 = strong flicker (paper 4). 0-1 are satisfactory.\n");
+    return 0;
+}

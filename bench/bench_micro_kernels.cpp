@@ -1,0 +1,138 @@
+// Microbenchmarks (google-benchmark) for the hot kernels.
+//
+// The paper's 5 asks about computational cost: these measure the
+// per-frame cost of each pipeline stage so a real-time port (the encoder
+// must keep up with 120 Hz, the decoder with 30 FPS captures) can budget
+// against them.
+
+#include "coding/reed_solomon.hpp"
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "core/session.hpp"
+#include "channel/link.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/resize.hpp"
+#include "util/prng.hpp"
+#include "video/playback.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace inframe;
+
+void bm_encoder_next_display_frame(benchmark::State& state)
+{
+    const int width = static_cast<int>(state.range(0));
+    const int height = width * 9 / 16;
+    auto config = core::paper_config(width, height);
+    core::Inframe_encoder encoder(config);
+    util::Prng prng(1);
+    for (int i = 0; i < 64; ++i) {
+        encoder.queue_payload(
+            prng.next_bits(static_cast<std::size_t>(config.geometry.payload_bits_per_frame())));
+    }
+    const img::Imagef video(width, height, 1, 127.0f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(encoder.next_display_frame(video));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["fps_budget_120"] = benchmark::Counter(
+        120.0, benchmark::Counter::kDefaults); // must beat this to run live
+}
+BENCHMARK(bm_encoder_next_display_frame)->Arg(480)->Arg(960)->Arg(1920)->Unit(benchmark::kMillisecond);
+
+void bm_decoder_block_metrics(benchmark::State& state)
+{
+    const int width = static_cast<int>(state.range(0));
+    const int height = width * 9 / 16;
+    auto config = core::paper_config(width, height);
+    auto params = core::make_decoder_params(config, width * 2 / 3, height * 2 / 3);
+    params.detector = state.range(1) ? core::Detector::matched : core::Detector::noise_level;
+    core::Inframe_decoder decoder(params);
+    util::Prng prng(2);
+    img::Imagef capture(width * 2 / 3, height * 2 / 3, 1);
+    for (auto& v : capture.values()) v = static_cast<float>(prng.next_double(0, 255));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(decoder.block_metrics(capture));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_decoder_block_metrics)
+    ->Args({960, 0})
+    ->Args({960, 1})
+    ->Args({1920, 0})
+    ->Args({1920, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void bm_camera_capture_path(benchmark::State& state)
+{
+    const int width = static_cast<int>(state.range(0));
+    const int height = width * 9 / 16;
+    channel::Display_params display;
+    channel::Camera_params camera;
+    camera.sensor_width = width * 2 / 3;
+    camera.sensor_height = height * 2 / 3;
+    channel::Screen_camera_link link(display, camera, width, height);
+    const img::Imagef frame(width, height, 1, 127.0f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(link.push_display_frame(frame));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_camera_capture_path)->Arg(960)->Arg(1920)->Unit(benchmark::kMillisecond);
+
+void bm_box_blur(benchmark::State& state)
+{
+    util::Prng prng(3);
+    img::Imagef image(1280, 720, 1);
+    for (auto& v : image.values()) v = static_cast<float>(prng.next_double(0, 255));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(img::box_blur(image, static_cast<int>(state.range(0))));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>(image.value_count()) * 4);
+}
+BENCHMARK(bm_box_blur)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void bm_resize_area(benchmark::State& state)
+{
+    util::Prng prng(4);
+    img::Imagef image(1920, 1080, 1);
+    for (auto& v : image.values()) v = static_cast<float>(prng.next_double(0, 255));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(img::resize_area(image, 1280, 720));
+    }
+}
+BENCHMARK(bm_resize_area)->Unit(benchmark::kMillisecond);
+
+void bm_reed_solomon_decode(benchmark::State& state)
+{
+    const coding::Reed_solomon rs(140, 63);
+    util::Prng prng(5);
+    std::vector<std::uint8_t> data(63);
+    prng.fill_bytes(data);
+    auto codeword = rs.encode(data);
+    for (int e = 0; e < static_cast<int>(state.range(0)); ++e) {
+        codeword[static_cast<std::size_t>(11 * e + 3)] ^= 0xa5;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rs.decode(codeword));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_reed_solomon_decode)->Arg(0)->Arg(8)->Arg(30);
+
+void bm_sunrise_frame(benchmark::State& state)
+{
+    const video::Sunrise_video video(960, 540);
+    std::int64_t index = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(video.frame(index++ % 900));
+    }
+}
+BENCHMARK(bm_sunrise_frame)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

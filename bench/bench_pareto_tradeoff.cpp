@@ -1,0 +1,102 @@
+// The throughput / visibility tradeoff (5).
+//
+// "Each of [Block size, amplitude, smoothing cycle] introduces a dimension
+// for tradeoff ... How to better balance the tradeoff ... is of great
+// interest." This bench answers quantitatively: sweep (delta, tau, s) over
+// the simulated rig, measure both the panel flicker score and the channel
+// goodput for each setting, and report the Pareto-efficient frontier under
+// the paper's own acceptability bar (mean score <= 1, "satisfactory").
+
+#include "bench_common.hpp"
+#include "core/link_runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+using namespace inframe;
+
+constexpr int width = 480;
+constexpr int height = 270;
+
+struct Point {
+    float delta;
+    int tau;
+    int block_pixels;
+    double flicker;
+    double goodput;
+};
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const auto scale = bench::parse_scale(argc, argv);
+    const double duration = bench::scale_duration(scale, 1.0, 1.5, 3.0);
+
+    bench::print_header("Pareto frontier: goodput vs perceived flicker (5's open question)",
+                        "larger delta/smaller tau raise throughput and flicker together; the "
+                        "frontier shows what the channel buys per unit of visibility");
+
+    std::vector<Point> points;
+    for (const float delta : {12.0f, 20.0f, 30.0f, 45.0f}) {
+        for (const int tau : {8, 12, 16}) {
+            for (const int block_pixels : {7, 9}) {
+                auto geometry = coding::fitted_geometry(width, height, 2, block_pixels);
+
+                core::Flicker_experiment_config flicker;
+                flicker.video = video::make_dark_gray_video(width, height);
+                flicker.inframe = core::paper_config(width, height);
+                flicker.inframe.geometry = geometry;
+                flicker.inframe.delta = delta;
+                flicker.inframe.tau = tau;
+                flicker.duration_s = duration;
+                flicker.observers = 4;
+                flicker.options.max_sites = 384;
+                const double score = core::run_flicker_experiment(flicker).mean_score;
+
+                core::Link_experiment_config link;
+                link.video = video::make_dark_gray_video(width, height);
+                link.inframe = flicker.inframe;
+                link.camera.sensor_width = width;
+                link.camera.sensor_height = height;
+                link.detector = core::Detector::matched;
+                link.duration_s = duration;
+                const double goodput = core::run_link_experiment(link).goodput_kbps;
+
+                points.push_back({delta, tau, block_pixels, score, goodput});
+            }
+        }
+    }
+
+    util::Table table({"delta", "tau", "block s", "flicker score", "goodput kbps",
+                       "acceptable", "Pareto-efficient"});
+    std::size_t efficient = 0;
+    for (const auto& p : points) {
+        const bool dominated = std::any_of(points.begin(), points.end(), [&](const Point& q) {
+            return (q.flicker < p.flicker && q.goodput >= p.goodput)
+                   || (q.flicker <= p.flicker && q.goodput > p.goodput);
+        });
+        efficient += !dominated;
+        table.add_row({static_cast<double>(p.delta), static_cast<long long>(p.tau),
+                       static_cast<long long>(p.block_pixels), p.flicker, p.goodput,
+                       std::string(p.flicker <= 1.0 ? "yes" : "no"),
+                       std::string(dominated ? "" : "<-- frontier")});
+    }
+    bench::print_table(table);
+
+    // The answer to 5's question: best acceptable operating point.
+    const Point* best = nullptr;
+    for (const auto& p : points) {
+        if (p.flicker <= 1.0 && (best == nullptr || p.goodput > best->goodput)) best = &p;
+    }
+    if (best != nullptr) {
+        std::printf("best satisfactory operating point: delta=%.0f tau=%d s=%d -> %.2f kbps "
+                    "at flicker %.2f\n",
+                    best->delta, best->tau, best->block_pixels, best->goodput, best->flicker);
+    }
+    std::printf("(%zu of %zu settings are Pareto-efficient)\n", efficient, points.size());
+    return 0;
+}

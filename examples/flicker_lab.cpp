@@ -1,0 +1,71 @@
+// Flicker lab: explore the viewing-experience side of InFrame.
+//
+// Writes Fig. 4-style images (the complementary pair V+D / V-D and their
+// average) to ./flicker_lab_out/ and prints the simulated observer panel's
+// flicker scores for a small delta x tau sweep — a fast, reduced version
+// of the Fig. 6 study (bench/bench_fig6_flicker runs the full one).
+
+#include "core/encoder.hpp"
+#include "core/link_runner.hpp"
+#include "imgproc/image_ops.hpp"
+#include "imgproc/io.hpp"
+#include "imgproc/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/prng.hpp"
+#include "video/playback.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+int main()
+{
+    using namespace inframe;
+
+    constexpr int width = 480;
+    constexpr int height = 270;
+    const std::filesystem::path out_dir = "flicker_lab_out";
+    std::filesystem::create_directories(out_dir);
+
+    // --- Part 1: Fig. 4 style frame pairs -------------------------------
+    core::Inframe_config config = core::paper_config(width, height);
+    util::Prng prng(util::Prng::default_seed);
+    const auto bits =
+        prng.next_bits(static_cast<std::size_t>(config.geometry.block_count()));
+
+    const auto gray = video::make_gray_video(width, height)->frame(0);
+    const auto sunrise = video::make_sunrise_video(width, height)->frame(450);
+
+    for (const auto& [name, frame] : {std::pair{"gray", gray}, {"sunrise", sunrise}}) {
+        const auto pair = core::make_complementary_pair(config, frame, bits);
+        img::Imagef average = img::add(pair.plus, pair.minus);
+        average = img::affine(average, 0.5f, 0.0f);
+        img::write_pnm(pair.plus, (out_dir / (std::string(name) + "_plus.pgm")).string());
+        img::write_pnm(pair.minus, (out_dir / (std::string(name) + "_minus.pgm")).string());
+        img::write_pnm(average, (out_dir / (std::string(name) + "_average.pgm")).string());
+        std::printf("%s: single multiplexed frame PSNR %.1f dB, averaged pair PSNR %.1f dB\n",
+                    name, img::psnr(pair.plus, frame), img::psnr(average, frame));
+    }
+    std::printf("frame pair images written to %s/\n\n", out_dir.string().c_str());
+
+    // --- Part 2: mini delta x tau perception sweep ----------------------
+    util::Table table({"delta", "tau", "panel score (0-4)", "stddev"});
+    for (const float delta : {10.0f, 20.0f, 40.0f}) {
+        for (const int tau : {8, 12, 16}) {
+            core::Flicker_experiment_config experiment;
+            experiment.video = video::make_dark_gray_video(width, height);
+            experiment.inframe = core::paper_config(width, height);
+            experiment.inframe.delta = delta;
+            experiment.inframe.tau = tau;
+            experiment.duration_s = 1.5;
+            experiment.observers = 8;
+            experiment.options.max_sites = 384;
+            const auto result = core::run_flicker_experiment(experiment);
+            table.add_row({static_cast<double>(delta), static_cast<long long>(tau),
+                           result.mean_score, result.stddev_score});
+        }
+    }
+    std::printf("score scale: 0 no difference ... 4 strong flicker (paper 4)\n");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: send a message over InFrame's dual-mode channel.
+//
+// A video plays on the (simulated) display; a short message rides on top
+// of it, invisible to the viewer; the (simulated) camera demodulates it.
+// Everything runs at a reduced resolution so this finishes in seconds —
+// bench/bench_fig7_throughput runs the paper's full-scale rig.
+
+#include "channel/link.hpp"
+#include "core/session.hpp"
+#include "video/playback.hpp"
+
+#include <cstdio>
+#include <string>
+
+int main()
+{
+    using namespace inframe;
+
+    constexpr int width = 480;
+    constexpr int height = 270;
+
+    // 1. Configure InFrame: the paper's layout scaled to this screen.
+    core::Inframe_config config = core::paper_config(width, height);
+    // At this small demo resolution the camera cannot resolve the paper
+    // geometry's 1-px Pixels; use 2-px Pixels instead (fewer, larger blocks).
+    config.geometry = coding::fitted_geometry(width, height, /*pixel_size=*/2);
+    config.delta = 20.0f; // chessboard amplitude: invisible at tau >= 10
+    config.tau = 12;      // display frames per data frame
+
+    std::printf("InFrame quickstart\n");
+    std::printf("  screen      : %dx%d @ %.0f Hz\n", width, height, config.display_fps);
+    std::printf("  data frame  : %d blocks -> %d payload bits\n",
+                config.geometry.block_count(), config.geometry.payload_bits_per_frame());
+    std::printf("  raw rate    : %.2f kbps\n\n", config.raw_payload_rate() / 1000.0);
+
+    // 2. The message to broadcast (loops as a carousel until received).
+    const std::string text =
+        "Hello from InFrame! This message is riding on ordinary video, "
+        "invisible to anyone watching the screen.";
+    core::Inframe_sender sender(config, {text.begin(), text.end()});
+    std::printf("sending %zu bytes in %zu data-frame chunks\n\n", text.size(),
+                sender.total_chunks());
+
+    // 3. The video the human watches.
+    const auto video = video::make_sunrise_video(width, height);
+    const video::Playback_schedule schedule;
+
+    // 4. The device watching the screen: display + camera simulation.
+    channel::Display_params display;
+    channel::Camera_params camera;
+    camera.sensor_width = width; // close-up capture: sensor resolves the screen
+    camera.sensor_height = height;
+    channel::Screen_camera_link link(display, camera, width, height);
+
+    auto decoder_params = core::make_decoder_params(config, width, height);
+    decoder_params.detector = core::Detector::matched; // texture-robust detector
+    core::Inframe_receiver receiver(decoder_params, sender.total_chunks());
+
+    // 5. Run the link until the whole message has been reassembled.
+    std::int64_t display_frame = 0;
+    while (!receiver.message_complete() && display_frame < 120 * 20) {
+        const auto video_frame = video->frame(schedule.video_frame_for_display(display_frame));
+        const auto multiplexed = sender.next_display_frame(video_frame);
+        for (const auto& capture : link.push_display_frame(multiplexed)) {
+            receiver.push_capture(capture.image, capture.start_time);
+        }
+        ++display_frame;
+    }
+    receiver.finish();
+
+    const auto received = receiver.message();
+    std::printf("after %.2f s of video:\n", static_cast<double>(display_frame) / 120.0);
+    std::printf("  chunks      : %zu/%zu\n", receiver.chunks_received(), sender.total_chunks());
+    std::printf("  frames used : %zu decoded, %zu rejected\n", receiver.frames_decoded(),
+                receiver.frames_rejected());
+    std::printf("  message     : \"%s\"\n",
+                std::string(received.begin(), received.end()).c_str());
+    std::printf("  status      : %s\n",
+                receiver.message_complete() ? "complete" : "INCOMPLETE");
+    return receiver.message_complete() ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+#include "baseline/naive.hpp"
+
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+
+namespace inframe::baseline {
+
+const char* to_string(Naive_scheme scheme)
+{
+    switch (scheme) {
+    case Naive_scheme::normal: return "normal";
+    case Naive_scheme::v_ddd: return "V:D=1:3";
+    case Naive_scheme::alternate_vd: return "V:D=1:1";
+    case Naive_scheme::vvdd: return "V:D=2:2";
+    case Naive_scheme::vvvd: return "V:D=3:1";
+    }
+    return "unknown";
+}
+
+Naive_multiplexer::Naive_multiplexer(Naive_scheme scheme, coding::Code_geometry geometry,
+                                     float amplitude, std::uint64_t seed)
+    : scheme_(scheme), geometry_(std::move(geometry)), amplitude_(amplitude), seed_(seed)
+{
+    geometry_.validate();
+    util::expects(amplitude > 0.0f, "naive multiplexer amplitude must be positive");
+}
+
+bool Naive_multiplexer::is_data_slot(std::int64_t display_index) const
+{
+    const int slot = static_cast<int>(display_index % 4);
+    switch (scheme_) {
+    case Naive_scheme::normal: return false;
+    case Naive_scheme::v_ddd: return slot != 0;
+    case Naive_scheme::alternate_vd: return slot % 2 == 1;
+    case Naive_scheme::vvdd: return slot >= 2;
+    case Naive_scheme::vvvd: return slot == 3;
+    }
+    return false;
+}
+
+img::Imagef Naive_multiplexer::frame(const img::Imagef& video_frame,
+                                     std::int64_t display_index) const
+{
+    util::expects(display_index >= 0, "display index must be non-negative");
+    util::expects(video_frame.width() == geometry_.screen_width
+                      && video_frame.height() == geometry_.screen_height,
+                  "naive multiplexer: video frame does not match geometry");
+    if (!is_data_slot(display_index)) return video_frame;
+
+    // Every data slot carries a *distinct* pseudo-random barcode — the
+    // paper's "three distinctive data frames".
+    util::Prng prng(seed_ ^ (static_cast<std::uint64_t>(display_index) * 0x9e37'79b9ULL));
+    img::Imagef out = video_frame;
+    for (int by = 0; by < geometry_.blocks_y; ++by) {
+        for (int bx = 0; bx < geometry_.blocks_x; ++bx) {
+            const float sign = prng.next_bernoulli(0.5) ? 1.0f : -1.0f;
+            const auto rect = geometry_.block_rect(bx, by);
+            for (int y = rect.y0; y < rect.y0 + rect.size; ++y) {
+                for (int x = rect.x0; x < rect.x0 + rect.size; ++x) {
+                    out(x, y) += sign * amplitude_;
+                }
+            }
+        }
+    }
+    img::clamp(out, 0.0f, 255.0f);
+    return out;
+}
+
+std::function<img::Imagef(const img::Imagef&, std::int64_t)> Naive_multiplexer::producer() const
+{
+    return [self = *this](const img::Imagef& video_frame, std::int64_t display_index) {
+        return self.frame(video_frame, display_index);
+    };
+}
+
+} // namespace inframe::baseline

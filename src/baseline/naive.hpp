@@ -1,0 +1,56 @@
+// The naive multiplexing designs of Fig. 3.
+//
+// Before arriving at complementary frames, the paper tried inserting
+// distinct data frames between video frames at several V:D ratios — all of
+// which flicker visibly because the average of the inserted frames does
+// not match the video and the data alternates below the CFF. These
+// producers recreate each scheme so the Fig. 3 bench can score them
+// against InFrame with the same observer panel.
+#pragma once
+
+#include "coding/geometry.hpp"
+#include "imgproc/image.hpp"
+#include "util/prng.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace inframe::baseline {
+
+enum class Naive_scheme : std::uint8_t {
+    normal,       // (b) plain playback, no data
+    v_ddd,        // (c) one video frame, then three distinct data frames
+    alternate_vd, // (d) V D V D with a fresh data frame each slot
+    vvdd,         // 2:2 ratio
+    vvvd,         // 3:1 ratio
+};
+
+const char* to_string(Naive_scheme scheme);
+
+// Produces the displayed frame for refresh slot `display_index` given the
+// scheduled video frame. Data slots show the video overlaid with a
+// semi-transparent barcode of `amplitude` around the video level — the
+// "dynamic semi-transparent data blocks" viewers reported seeing.
+class Naive_multiplexer {
+public:
+    Naive_multiplexer(Naive_scheme scheme, coding::Code_geometry geometry, float amplitude,
+                      std::uint64_t seed = util::Prng::default_seed);
+
+    img::Imagef frame(const img::Imagef& video_frame, std::int64_t display_index) const;
+
+    Naive_scheme scheme() const { return scheme_; }
+
+    // Adapter for core::Flicker_experiment_config::frame_producer.
+    std::function<img::Imagef(const img::Imagef&, std::int64_t)> producer() const;
+
+private:
+    bool is_data_slot(std::int64_t display_index) const;
+
+    Naive_scheme scheme_;
+    coding::Code_geometry geometry_;
+    float amplitude_;
+    std::uint64_t seed_;
+};
+
+} // namespace inframe::baseline

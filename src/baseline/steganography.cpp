@@ -1,0 +1,45 @@
+#include "baseline/steganography.hpp"
+
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+
+#include <cmath>
+
+namespace inframe::baseline {
+
+img::Image8 lsb_embed(const img::Imagef& frame, std::span<const std::uint8_t> bits)
+{
+    util::expects(bits.size() <= frame.pixel_count() * static_cast<std::size_t>(frame.channels()),
+                  "lsb_embed: more bits than pixel values");
+    img::Image8 out = img::to_u8(frame);
+    auto values = out.values();
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        values[i] = static_cast<std::uint8_t>((values[i] & 0xfe) | (bits[i] & 1));
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> lsb_extract(const img::Image8& frame, std::size_t count)
+{
+    util::expects(count <= frame.value_count(), "lsb_extract: more bits than pixel values");
+    std::vector<std::uint8_t> bits(count);
+    const auto values = frame.values();
+    for (std::size_t i = 0; i < count; ++i) bits[i] = values[i] & 1;
+    return bits;
+}
+
+std::vector<std::uint8_t> lsb_extract(const img::Imagef& frame, std::size_t count)
+{
+    return lsb_extract(img::to_u8(frame), count);
+}
+
+double bit_error_rate(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b)
+{
+    util::expects(a.size() == b.size() && !a.empty(),
+                  "bit_error_rate: vectors must be equal-length and non-empty");
+    std::size_t wrong = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) wrong += (a[i] & 1) != (b[i] & 1);
+    return static_cast<double>(wrong) / static_cast<double>(a.size());
+}
+
+} // namespace inframe::baseline

@@ -1,0 +1,31 @@
+// LSB steganography baseline.
+//
+// The paper's related-work section (6) distinguishes InFrame from
+// steganography/watermarking (16-22): those hide bits in pixel LSBs for a
+// *digital* recipient of the exact file. This baseline demonstrates the
+// distinction quantitatively: LSB round-trips perfectly over a lossless
+// path and collapses to coin-flip error over the screen-camera channel,
+// which is why InFrame must signal with camera-surviving structure
+// instead.
+#pragma once
+
+#include "imgproc/image.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inframe::baseline {
+
+// Embeds bits into the LSBs of the (rounded) pixel values, row-major from
+// the top-left. Requires bits.size() <= pixel count.
+img::Image8 lsb_embed(const img::Imagef& frame, std::span<const std::uint8_t> bits);
+
+// Extracts `count` bits from the LSBs.
+std::vector<std::uint8_t> lsb_extract(const img::Image8& frame, std::size_t count);
+std::vector<std::uint8_t> lsb_extract(const img::Imagef& frame, std::size_t count);
+
+// Fraction of differing bits between two vectors of equal length.
+double bit_error_rate(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+} // namespace inframe::baseline

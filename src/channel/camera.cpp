@@ -1,0 +1,96 @@
+#include "channel/camera.hpp"
+
+#include "imgproc/filter.hpp"
+#include "imgproc/image_ops.hpp"
+#include "imgproc/resize.hpp"
+#include "util/contract.hpp"
+
+#include <cmath>
+
+namespace inframe::channel {
+
+Camera_optics::Camera_optics(const Camera_params& params, int screen_width, int screen_height)
+    : params_(params), screen_width_(screen_width), screen_height_(screen_height)
+{
+    util::expects(params.fps > 0.0, "camera fps must be positive");
+    util::expects(params.exposure_s > 0.0, "camera exposure must be positive");
+    util::expects(params.exposure_s <= 1.0 / params.fps,
+                  "camera exposure cannot exceed the frame interval");
+    util::expects(params.readout_s >= 0.0, "camera readout skew must be non-negative");
+    util::expects(params.readout_s + params.exposure_s <= 1.0 / params.fps,
+                  "rolling-shutter capture must finish within the frame interval");
+    util::expects(params.sensor_width > 0 && params.sensor_height > 0,
+                  "sensor resolution must be positive");
+    util::expects(params.optical_blur_sigma >= 0.0, "optical blur must be non-negative");
+    util::expects(params.shot_noise_scale >= 0.0, "shot noise scale must be non-negative");
+    util::expects(params.read_noise_sigma >= 0.0, "read noise must be non-negative");
+    util::expects(params.gain > 0.0, "camera gain must be positive");
+    util::expects(screen_width > 0 && screen_height > 0, "screen size must be positive");
+}
+
+img::Imagef Camera_optics::to_sensor(const img::Imagef& emitted) const
+{
+    util::expects(emitted.width() == screen_width_ && emitted.height() == screen_height_,
+                  "emitted frame does not match the configured screen size");
+    img::Imagef sensor;
+    if (params_.sensor_to_screen) {
+        // Perspective path: each sensor pixel samples the screen through
+        // the viewing homography (bilinear; the optical blur below stands
+        // in for photosite integration).
+        sensor = img::warp_perspective(emitted, *params_.sensor_to_screen,
+                                       params_.sensor_width, params_.sensor_height);
+    } else {
+        // Photosite area integration: each sensor pixel averages the
+        // screen area it covers.
+        sensor = img::resize_area(emitted, params_.sensor_width, params_.sensor_height);
+        // Sub-pixel misalignment of the projected image.
+        if (params_.offset_x_px != 0.0 || params_.offset_y_px != 0.0) {
+            sensor = img::translate(sensor, static_cast<float>(params_.offset_x_px),
+                                    static_cast<float>(params_.offset_y_px));
+        }
+    }
+    // Lens blur.
+    if (params_.optical_blur_sigma > 0.0) {
+        sensor = img::gaussian_blur(sensor, params_.optical_blur_sigma);
+    }
+    return sensor;
+}
+
+Camera_params auto_expose(Camera_params params, double scene_mean_level,
+                          double reference_level, double reference_exposure_s,
+                          double max_exposure_s)
+{
+    util::expects(scene_mean_level >= 0.0, "auto_expose: scene level must be non-negative");
+    util::expects(reference_level > 0.0 && reference_exposure_s > 0.0 && max_exposure_s > 0.0,
+                  "auto_expose: reference parameters must be positive");
+    const double level = std::max(scene_mean_level, 1.0);
+    const double target = reference_exposure_s * reference_level / level;
+    const double frame_limit = 1.0 / params.fps - params.readout_s;
+    const double exposure =
+        std::clamp(target, 1e-5, std::min(max_exposure_s, frame_limit));
+    params.exposure_s = exposure;
+    // Metering shortfall becomes digital gain (and amplified noise).
+    params.gain *= std::max(target / exposure, 1.0);
+    return params;
+}
+
+void apply_sensor_noise(img::Imagef& integrated, const Camera_params& params, util::Prng& prng)
+{
+    const auto gain = static_cast<float>(params.gain);
+    for (auto& v : integrated.values()) {
+        double level = v;
+        if (params.shot_noise_scale > 0.0) {
+            level += prng.next_gaussian(0.0,
+                                        params.shot_noise_scale * std::sqrt(std::max(level, 0.0)));
+        }
+        if (params.read_noise_sigma > 0.0) {
+            level += prng.next_gaussian(0.0, params.read_noise_sigma);
+        }
+        level *= gain;
+        level = std::clamp(level, 0.0, 255.0);
+        if (params.quantize) level = std::nearbyint(level);
+        v = static_cast<float>(level);
+    }
+}
+
+} // namespace inframe::channel

@@ -1,0 +1,117 @@
+// Camera model.
+//
+// Stands in for the paper's Lumia 1020 capturing the screen at 1280x720,
+// 30 FPS from 50 cm. Split in two stages:
+//
+//  - Camera_optics: time-invariant geometry and optics. Maps an emitted
+//    screen light field to sensor-plane irradiance: sub-pixel
+//    misalignment, photosite area integration (screen -> sensor resample)
+//    and lens blur.
+//  - Exposure/readout (driven by Screen_camera_link): each sensor ROW
+//    integrates the light field over its own exposure window — the rolling
+//    shutter the paper names as a key channel impairment — then shot
+//    noise, read noise, gain and 8-bit quantization are applied.
+#pragma once
+
+#include "imgproc/image.hpp"
+#include "imgproc/warp.hpp"
+#include "util/prng.hpp"
+
+#include <cstdint>
+#include <optional>
+
+namespace inframe::channel {
+
+struct Camera_params {
+    // Capture cadence. 29.97 (NTSC timing) rather than exactly 30: the
+    // camera clock is not locked to the display, so exposure windows
+    // drift slowly across display frame boundaries — the frame-rate
+    // mismatch impairment the paper names.
+    double fps = 29.97;
+
+    // Exposure (integration) time per row, seconds. Must be short enough
+    // that a capture does not straddle a whole complementary pair, or the
+    // data cancels — the paper's rig relies on a bright screen forcing a
+    // short exposure. 1/480 s is a typical metering result against a
+    // full-brightness LCD.
+    double exposure_s = 1.0 / 480.0;
+
+    // Rolling-shutter readout skew: delay between the first and last row
+    // starting their exposure, seconds. 0 = global shutter.
+    double readout_s = 0.006;
+
+    // Sensor resolution.
+    int sensor_width = 1280;
+    int sensor_height = 720;
+
+    // Lens blur on the sensor plane (Gaussian sigma, sensor pixels).
+    double optical_blur_sigma = 0.5;
+
+    // Misalignment of the screen image on the sensor (sensor pixels).
+    double offset_x_px = 0.3;
+    double offset_y_px = 0.2;
+
+    // Perspective viewing geometry: maps sensor coordinates to screen
+    // coordinates (e.g. a keystone from filming at an angle). When set it
+    // replaces the axis-aligned resample+offset path; the decoder must be
+    // given the same (calibrated) homography. img::Homography::rect_to_quad
+    // builds one from the screen quad's corner positions.
+    std::optional<img::Homography> sensor_to_screen;
+
+    // Photon shot noise: stddev = shot_noise_scale * sqrt(level). The
+    // default models a bright screen filling the view of a large
+    // oversampling sensor (the Lumia 1020 bins ~6 photosites per output
+    // pixel): SNR ~ 39 dB at level 180.
+    double shot_noise_scale = 0.12;
+
+    // Electronics read noise stddev (digital numbers).
+    double read_noise_sigma = 0.8;
+
+    // Digital gain applied before quantization.
+    double gain = 1.0;
+
+    // Start of capture 0 relative to display frame 0, seconds.
+    double phase_offset_s = 0.0;
+
+    // Quantize output to integers (8-bit pipeline).
+    bool quantize = true;
+
+    // Sensor noise stream seed.
+    std::uint64_t seed = 1020;
+};
+
+class Camera_optics {
+public:
+    Camera_optics(const Camera_params& params, int screen_width, int screen_height);
+
+    // Projects one emitted screen frame onto the sensor plane.
+    img::Imagef to_sensor(const img::Imagef& emitted) const;
+
+private:
+    Camera_params params_;
+    int screen_width_;
+    int screen_height_;
+};
+
+// Applies the sensor electronics to an integrated irradiance image:
+// shot noise, read noise, gain, clamp, optional quantization. Mutates the
+// image in place; prng supplies the noise stream.
+void apply_sensor_noise(img::Imagef& integrated, const Camera_params& params,
+                        util::Prng& prng);
+
+// Auto-exposure metering: returns a copy of `params` with exposure_s and
+// gain set the way a phone camera meters a scene of the given mean level.
+//
+// The camera aims for the reference exposure at a bright scene (level
+// ~180, the paper's light-gray video at 100% display brightness); darker
+// scenes stretch the exposure up to max_exposure_s, and any remaining
+// shortfall becomes digital gain (amplifying noise). This is the
+// mechanism that degrades the dark-gray and natural-video runs in Fig. 7:
+// exposure beyond one display frame integrates part of the complementary
+// -D frame, cancelling a fraction of the embedded pattern.
+Camera_params auto_expose(Camera_params params, double scene_mean_level,
+                          double reference_level = 180.0,
+                          double reference_exposure_s = 1.0 / 480.0,
+                          double max_exposure_s = 1.0 / 180.0);
+
+} // namespace inframe::channel

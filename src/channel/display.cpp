@@ -1,0 +1,47 @@
+#include "channel/display.hpp"
+
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+
+namespace inframe::channel {
+
+Display_model::Display_model(Display_params params) : params_(params)
+{
+    util::expects(params.refresh_hz > 0.0, "display refresh rate must be positive");
+    util::expects(params.brightness > 0.0 && params.brightness <= 1.0,
+                  "display brightness must be in (0, 1]");
+    util::expects(params.response_persistence >= 0.0 && params.response_persistence < 1.0,
+                  "pixel response persistence must be in [0, 1)");
+    util::expects(params.black_level >= 0.0, "black level must be non-negative");
+}
+
+img::Imagef Display_model::emit(const img::Imagef& frame)
+{
+    util::expects(!frame.empty(), "display cannot emit an empty frame");
+    img::Imagef target =
+        img::affine(frame, static_cast<float>(params_.brightness),
+                    static_cast<float>(params_.black_level));
+    img::clamp(target, 0.0f, 255.0f);
+
+    if (previous_emitted_ && previous_emitted_->same_shape(target)
+        && params_.response_persistence > 0.0) {
+        const auto persistence = static_cast<float>(params_.response_persistence);
+        auto out = target;
+        auto dst = out.values();
+        const auto prev = previous_emitted_->values();
+        for (std::size_t i = 0; i < dst.size(); ++i) {
+            dst[i] = prev[i] * persistence + dst[i] * (1.0f - persistence);
+        }
+        previous_emitted_ = out;
+        return out;
+    }
+    previous_emitted_ = target;
+    return target;
+}
+
+void Display_model::reset()
+{
+    previous_emitted_.reset();
+}
+
+} // namespace inframe::channel

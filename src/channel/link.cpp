@@ -1,0 +1,114 @@
+#include "channel/link.hpp"
+
+#include "util/contract.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace inframe::channel {
+
+Screen_camera_link::Screen_camera_link(Display_params display, Camera_params camera,
+                                       int screen_width, int screen_height)
+    : display_(display), camera_params_(camera), optics_(camera, screen_width, screen_height),
+      noise_(camera.seed)
+{
+    util::expects(camera.phase_offset_s >= 0.0, "camera phase offset must be non-negative");
+}
+
+bool Screen_camera_link::capture_complete(double now) const
+{
+    // Capture k is complete once the last row's exposure window has ended.
+    const double start =
+        camera_params_.phase_offset_s + static_cast<double>(capture_index_) / camera_params_.fps;
+    const double end = start + camera_params_.readout_s + camera_params_.exposure_s;
+    return end <= now + 1e-12;
+}
+
+std::vector<Capture> Screen_camera_link::push_display_frame(const img::Imagef& frame)
+{
+    const double period = display_.refresh_period();
+    const double start_time = static_cast<double>(display_index_) * period;
+
+    Buffered_frame buffered;
+    buffered.sensor_image = optics_.to_sensor(display_.emit(frame));
+    buffered.start_time = start_time;
+    buffered.end_time = start_time + period;
+    buffer_.push_back(std::move(buffered));
+    ++display_index_;
+
+    std::vector<Capture> completed;
+    const double now = static_cast<double>(display_index_) * period;
+    while (capture_complete(now)) {
+        completed.push_back(assemble_capture());
+        ++capture_index_;
+    }
+    trim_buffer();
+    return completed;
+}
+
+Capture Screen_camera_link::assemble_capture()
+{
+    const double capture_start =
+        camera_params_.phase_offset_s + static_cast<double>(capture_index_) / camera_params_.fps;
+    const int rows = camera_params_.sensor_height;
+    const int cols = camera_params_.sensor_width;
+    const double exposure = camera_params_.exposure_s;
+    const int channels = buffer_.empty() ? 1 : buffer_.front().sensor_image.channels();
+
+    img::Imagef integrated(cols, rows, channels, 0.0f);
+    for (int r = 0; r < rows; ++r) {
+        // Row r starts integrating after its share of the readout skew.
+        const double row_start =
+            capture_start
+            + (rows > 1 ? camera_params_.readout_s * static_cast<double>(r) / (rows - 1) : 0.0);
+        const double row_end = row_start + exposure;
+        auto out_row = integrated.row(r);
+        double covered = 0.0;
+        for (const auto& frame : buffer_) {
+            const double overlap = std::min(frame.end_time, row_end)
+                                   - std::max(frame.start_time, row_start);
+            if (overlap <= 0.0) continue;
+            const auto weight = static_cast<float>(overlap / exposure);
+            covered += overlap;
+            const auto src_row = frame.sensor_image.row(r);
+            for (std::size_t i = 0; i < out_row.size(); ++i) out_row[i] += weight * src_row[i];
+        }
+        util::ensures(covered >= exposure - 1e-9,
+                      "capture exposure window not fully covered by buffered frames");
+    }
+
+    apply_sensor_noise(integrated, camera_params_, noise_);
+
+    Capture capture;
+    capture.image = std::move(integrated);
+    capture.index = capture_index_;
+    capture.start_time = capture_start;
+    return capture;
+}
+
+void Screen_camera_link::trim_buffer()
+{
+    // Frames that end before the next capture's earliest window can never
+    // contribute again.
+    const double next_start =
+        camera_params_.phase_offset_s + static_cast<double>(capture_index_) / camera_params_.fps;
+    while (!buffer_.empty() && buffer_.front().end_time <= next_start - 1e-12) {
+        buffer_.pop_front();
+    }
+}
+
+std::vector<Capture> run_link(const Display_params& display, const Camera_params& camera,
+                              std::span<const img::Imagef> display_frames)
+{
+    util::expects(!display_frames.empty(), "run_link needs display frames");
+    Screen_camera_link link(display, camera, display_frames[0].width(),
+                            display_frames[0].height());
+    std::vector<Capture> captures;
+    for (const auto& frame : display_frames) {
+        auto completed = link.push_display_frame(frame);
+        for (auto& c : completed) captures.push_back(std::move(c));
+    }
+    return captures;
+}
+
+} // namespace inframe::channel

@@ -1,0 +1,76 @@
+// Screen-camera link: composes the display and camera models with the
+// timing math that produces the paper's channel impairments.
+//
+// Display frames are pushed at the refresh cadence; the link projects each
+// onto the sensor plane and integrates per-row exposure windows against the
+// piecewise-constant light field. Because rows start their exposure at
+// staggered times (rolling shutter), a single capture can mix adjacent
+// display frames differently per row — exactly the distortion the InFrame
+// decoder must tolerate (3.3). Frame-rate mismatch and phase drift come
+// out of the same timing model for free.
+#pragma once
+
+#include "channel/camera.hpp"
+#include "channel/display.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace inframe::channel {
+
+struct Capture {
+    img::Imagef image;
+
+    // Capture sequence number (k-th camera frame).
+    std::int64_t index = 0;
+
+    // Time the first row began integrating, seconds.
+    double start_time = 0.0;
+};
+
+class Screen_camera_link {
+public:
+    Screen_camera_link(Display_params display, Camera_params camera, int screen_width,
+                       int screen_height);
+
+    // Pushes the next logical display frame (refresh cadence). Returns the
+    // captures completed by the end of this refresh interval (usually zero
+    // or one).
+    std::vector<Capture> push_display_frame(const img::Imagef& frame);
+
+    // Number of display frames pushed so far.
+    std::int64_t display_frames_pushed() const { return display_index_; }
+
+    // Expected captures per second.
+    double capture_rate() const { return camera_params_.fps; }
+
+    const Camera_params& camera_params() const { return camera_params_; }
+    const Display_params& display_params() const { return display_.params(); }
+
+private:
+    struct Buffered_frame {
+        img::Imagef sensor_image;
+        double start_time;
+        double end_time;
+    };
+
+    bool capture_complete(double now) const;
+    Capture assemble_capture();
+    void trim_buffer();
+
+    Display_model display_;
+    Camera_params camera_params_;
+    Camera_optics optics_;
+    util::Prng noise_;
+    std::deque<Buffered_frame> buffer_;
+    std::int64_t display_index_ = 0;
+    std::int64_t capture_index_ = 0;
+};
+
+// Convenience: run a prepared sequence of display frames through a fresh
+// link and collect all completed captures.
+std::vector<Capture> run_link(const Display_params& display, const Camera_params& camera,
+                              std::span<const img::Imagef> display_frames);
+
+} // namespace inframe::channel

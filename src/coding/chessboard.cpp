@@ -1,0 +1,54 @@
+#include "coding/chessboard.hpp"
+
+namespace inframe::coding {
+
+void add_chessboard_block(img::Imagef& frame, const Code_geometry& geometry, int bx, int by,
+                          float delta)
+{
+    util::expects(frame.width() == geometry.screen_width
+                      && frame.height() == geometry.screen_height,
+                  "chessboard: frame does not match geometry");
+    const Block_rect rect = geometry.block_rect(bx, by);
+    const int p = geometry.pixel_size;
+    const int channels = frame.channels();
+    for (int py = 0; py < geometry.block_pixels; ++py) {
+        for (int px = 0; px < geometry.block_pixels; ++px) {
+            if (((px + py) & 1) == 0) continue; // paper: raised when i+j odd
+            const int x0 = rect.x0 + px * p;
+            const int y0 = rect.y0 + py * p;
+            for (int y = y0; y < y0 + p; ++y) {
+                for (int x = x0; x < x0 + p; ++x) {
+                    // Colour video: the same amplitude on every channel
+                    // shifts luminance without altering chromaticity.
+                    for (int c = 0; c < channels; ++c) frame(x, y, c) += delta;
+                }
+            }
+        }
+    }
+}
+
+img::Imagef render_data_frame(const Code_geometry& geometry,
+                              std::span<const std::uint8_t> block_bits, float delta)
+{
+    geometry.validate();
+    util::expects(block_bits.size() == static_cast<std::size_t>(geometry.block_count()),
+                  "chessboard: bit count does not match block count");
+    img::Imagef frame(geometry.screen_width, geometry.screen_height, 1, 0.0f);
+    for (int by = 0; by < geometry.blocks_y; ++by) {
+        for (int bx = 0; bx < geometry.blocks_x; ++bx) {
+            if (block_bits[static_cast<std::size_t>(geometry.block_index(bx, by))]) {
+                add_chessboard_block(frame, geometry, bx, by, delta);
+            }
+        }
+    }
+    return frame;
+}
+
+float chessboard_block_mean(float delta)
+{
+    // In an s x s Pixel block with s odd, (s*s - 1) / 2 of s*s Pixels are
+    // raised; for the paper's s = 9 that is 40/81 ~ 0.494. Treat as half.
+    return delta * 0.5f;
+}
+
+} // namespace inframe::coding

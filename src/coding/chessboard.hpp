@@ -1,0 +1,37 @@
+// Chessboard on/off keying (paper 3.3).
+//
+// A Block carries one bit: bit 0 leaves the video content untouched, bit 1
+// adds a chessboard of super Pixels — Pixel (i, j) is set to the amplitude
+// delta when i + j is odd, 0 otherwise. The pattern is the highest spatial
+// frequency the Pixel grid can express, which is what the decoder's
+// smooth-and-subtract detector keys on and what the viewer's eye pools
+// away spatially.
+#pragma once
+
+#include "coding/geometry.hpp"
+#include "imgproc/image.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inframe::coding {
+
+// Renders the data frame D for a vector of block bits (raster order,
+// geometry.block_count() entries): a screen-sized image that is 0
+// everywhere except bit-1 blocks, which hold the chessboard at +delta.
+img::Imagef render_data_frame(const Code_geometry& geometry,
+                              std::span<const std::uint8_t> block_bits, float delta);
+
+// Writes one block's chessboard directly into `frame` (accumulating), with
+// the given amplitude. Used by the encoder's local amplitude capping path,
+// where delta varies per block.
+void add_chessboard_block(img::Imagef& frame, const Code_geometry& geometry, int bx, int by,
+                          float delta);
+
+// The chessboard's mean value over a block is delta/2 (half the Pixels are
+// raised). Exposed because the encoder must reason about the DC shift when
+// capping near saturation.
+float chessboard_block_mean(float delta);
+
+} // namespace inframe::coding

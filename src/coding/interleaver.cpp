@@ -1,0 +1,38 @@
+#include "coding/interleaver.hpp"
+
+namespace inframe::coding {
+
+Interleaver::Interleaver(int rows, int cols) : rows_(rows), cols_(cols)
+{
+    util::expects(rows >= 1 && cols >= 1, "interleaver dimensions must be positive");
+}
+
+std::vector<std::uint8_t> Interleaver::interleave(std::span<const std::uint8_t> input) const
+{
+    util::expects(input.size() == size(), "interleaver: input size mismatch");
+    std::vector<std::uint8_t> output(input.size());
+    std::size_t out = 0;
+    for (int c = 0; c < cols_; ++c) {
+        for (int r = 0; r < rows_; ++r) {
+            output[out++] = input[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_)
+                                  + static_cast<std::size_t>(c)];
+        }
+    }
+    return output;
+}
+
+std::vector<std::uint8_t> Interleaver::deinterleave(std::span<const std::uint8_t> input) const
+{
+    util::expects(input.size() == size(), "interleaver: input size mismatch");
+    std::vector<std::uint8_t> output(input.size());
+    std::size_t in = 0;
+    for (int c = 0; c < cols_; ++c) {
+        for (int r = 0; r < rows_; ++r) {
+            output[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_)
+                   + static_cast<std::size_t>(c)] = input[in++];
+        }
+    }
+    return output;
+}
+
+} // namespace inframe::coding

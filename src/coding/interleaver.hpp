@@ -1,0 +1,34 @@
+// Block interleaver. Rolling-shutter seams and local video texture destroy
+// GOBs in bursts along rows; interleaving payload bits before the GOB
+// mapping spreads each RS codeword across the whole frame so a burst turns
+// into scattered correctable symbol errors.
+#pragma once
+
+#include "util/contract.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inframe::coding {
+
+class Interleaver {
+public:
+    // Rectangular interleaver: writes row-wise into a rows x cols matrix,
+    // reads column-wise. size = rows * cols elements per pass.
+    Interleaver(int rows, int cols);
+
+    std::size_t size() const
+    {
+        return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+    }
+
+    std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> input) const;
+    std::vector<std::uint8_t> deinterleave(std::span<const std::uint8_t> input) const;
+
+private:
+    int rows_;
+    int cols_;
+};
+
+} // namespace inframe::coding

@@ -1,0 +1,102 @@
+#include "coding/parity.hpp"
+
+namespace inframe::coding {
+
+std::vector<std::uint8_t> encode_gob_parity(const Code_geometry& geometry,
+                                            std::span<const std::uint8_t> payload_bits)
+{
+    geometry.validate();
+    util::expects(payload_bits.size()
+                      == static_cast<std::size_t>(geometry.payload_bits_per_frame()),
+                  "parity: payload size does not match frame capacity");
+    std::vector<std::uint8_t> block_bits(static_cast<std::size_t>(geometry.block_count()), 0);
+    const int m = geometry.gob_size;
+    std::size_t next_payload = 0;
+    for (int gy = 0; gy < geometry.gobs_y(); ++gy) {
+        for (int gx = 0; gx < geometry.gobs_x(); ++gx) {
+            std::uint8_t parity = 0;
+            for (int j = 0; j < m; ++j) {
+                for (int i = 0; i < m; ++i) {
+                    const int bx = gx * m + i;
+                    const int by = gy * m + j;
+                    const auto index = static_cast<std::size_t>(geometry.block_index(bx, by));
+                    if (j == m - 1 && i == m - 1) {
+                        block_bits[index] = parity;
+                    } else {
+                        const std::uint8_t bit = payload_bits[next_payload++] ? 1 : 0;
+                        block_bits[index] = bit;
+                        parity ^= bit;
+                    }
+                }
+            }
+        }
+    }
+    util::ensures(next_payload == payload_bits.size(), "parity: payload not fully consumed");
+    return block_bits;
+}
+
+Frame_decode_result decode_gob_parity(const Code_geometry& geometry,
+                                      std::span<const Block_decision> block_decisions,
+                                      std::uint8_t fill_bit)
+{
+    geometry.validate();
+    util::expects(block_decisions.size() == static_cast<std::size_t>(geometry.block_count()),
+                  "parity: decision count does not match block count");
+    Frame_decode_result result;
+    result.gobs.reserve(static_cast<std::size_t>(geometry.gob_count()));
+    result.payload_bits.reserve(static_cast<std::size_t>(geometry.payload_bits_per_frame()));
+
+    const int m = geometry.gob_size;
+    std::size_t available = 0;
+    std::size_t erroneous = 0;
+    for (int gy = 0; gy < geometry.gobs_y(); ++gy) {
+        for (int gx = 0; gx < geometry.gobs_x(); ++gx) {
+            Gob_status status;
+            status.available = true;
+            std::uint8_t parity = 0;
+            std::uint8_t parity_block = 0;
+            for (int j = 0; j < m; ++j) {
+                for (int i = 0; i < m; ++i) {
+                    const int bx = gx * m + i;
+                    const int by = gy * m + j;
+                    const auto decision =
+                        block_decisions[static_cast<std::size_t>(geometry.block_index(bx, by))];
+                    if (decision == Block_decision::unknown) {
+                        status.available = false;
+                        continue;
+                    }
+                    const std::uint8_t bit = decision == Block_decision::one ? 1 : 0;
+                    if (j == m - 1 && i == m - 1) {
+                        parity_block = bit;
+                    } else {
+                        status.payload_bits.push_back(bit);
+                        parity ^= bit;
+                    }
+                }
+            }
+            if (status.available) {
+                ++available;
+                status.parity_ok = parity == parity_block;
+                if (!status.parity_ok) ++erroneous;
+            }
+            const bool trusted = status.available && status.parity_ok;
+            for (int b = 0; b < geometry.payload_bits_per_gob(); ++b) {
+                result.payload_bit_trusted.push_back(trusted ? 1 : 0);
+                if (trusted) {
+                    result.payload_bits.push_back(status.payload_bits[static_cast<std::size_t>(b)]);
+                    ++result.good_payload_bits;
+                } else {
+                    result.payload_bits.push_back(fill_bit);
+                }
+            }
+            result.gobs.push_back(std::move(status));
+        }
+    }
+    const auto total = static_cast<double>(geometry.gob_count());
+    result.available_ratio = total > 0.0 ? static_cast<double>(available) / total : 0.0;
+    result.error_rate =
+        available > 0 ? static_cast<double>(erroneous) / static_cast<double>(available) : 0.0;
+    return result;
+}
+
+} // namespace inframe::coding

@@ -1,0 +1,302 @@
+#include "coding/reed_solomon.hpp"
+
+#include "util/contract.hpp"
+
+#include <array>
+
+namespace inframe::coding {
+
+namespace gf256 {
+
+namespace {
+
+struct Tables {
+    std::array<std::uint8_t, 512> exp{};
+    std::array<int, 256> log{};
+
+    Tables()
+    {
+        int x = 1;
+        for (int i = 0; i < 255; ++i) {
+            exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+            log[static_cast<std::size_t>(x)] = i;
+            x <<= 1;
+            if (x & 0x100) x ^= 0x11d;
+        }
+        for (int i = 255; i < 512; ++i) {
+            exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+        }
+        log[0] = -1;
+    }
+};
+
+const Tables& tables()
+{
+    static const Tables t;
+    return t;
+}
+
+} // namespace
+
+std::uint8_t add(std::uint8_t a, std::uint8_t b)
+{
+    return a ^ b;
+}
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b)
+{
+    if (a == 0 || b == 0) return 0;
+    const auto& t = tables();
+    return t.exp[static_cast<std::size_t>(t.log[a] + t.log[b])];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b)
+{
+    util::expects(b != 0, "gf256: division by zero");
+    if (a == 0) return 0;
+    const auto& t = tables();
+    return t.exp[static_cast<std::size_t>(t.log[a] - t.log[b] + 255)];
+}
+
+std::uint8_t pow(std::uint8_t a, int e)
+{
+    if (e == 0) return 1;
+    if (a == 0) return 0;
+    const auto& t = tables();
+    long long exponent = (static_cast<long long>(t.log[a]) * e) % 255;
+    if (exponent < 0) exponent += 255;
+    return t.exp[static_cast<std::size_t>(exponent)];
+}
+
+std::uint8_t inverse(std::uint8_t a)
+{
+    util::expects(a != 0, "gf256: inverse of zero");
+    const auto& t = tables();
+    return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+} // namespace gf256
+
+namespace {
+
+using Poly = std::vector<std::uint8_t>; // coefficients, lowest degree first
+
+std::uint8_t poly_eval(const Poly& p, std::uint8_t x)
+{
+    std::uint8_t y = 0;
+    for (std::size_t i = p.size(); i-- > 0;) {
+        y = gf256::add(gf256::mul(y, x), p[i]);
+    }
+    return y;
+}
+
+Poly poly_mul(const Poly& a, const Poly& b)
+{
+    Poly out(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            out[i + j] = gf256::add(out[i + j], gf256::mul(a[i], b[j]));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Reed_solomon::Reed_solomon(int n, int k) : n_(n), k_(k)
+{
+    util::expects(n > 0 && n <= 255, "RS: n must be in [1, 255]");
+    util::expects(k > 0 && k < n, "RS: k must be in [1, n)");
+    // Generator polynomial: product of (x - alpha^i) for i in [0, n-k).
+    generator_ = {1};
+    for (int i = 0; i < n - k; ++i) {
+        generator_ = poly_mul(generator_, Poly{gf256::pow(2, i), 1});
+    }
+}
+
+std::vector<std::uint8_t> Reed_solomon::encode(std::span<const std::uint8_t> data) const
+{
+    util::expects(data.size() == static_cast<std::size_t>(k_), "RS: data must hold k symbols");
+    // Systematic encoding: message * x^(n-k) mod g(x) gives the parity.
+    const int parity_count = n_ - k_;
+    std::vector<std::uint8_t> remainder(static_cast<std::size_t>(parity_count), 0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const std::uint8_t factor = gf256::add(data[i], remainder.back());
+        // Shift remainder left by one and add factor * g.
+        for (std::size_t j = remainder.size(); j-- > 1;) {
+            remainder[j] = gf256::add(remainder[j - 1],
+                                      gf256::mul(factor, generator_[j]));
+        }
+        remainder[0] = gf256::mul(factor, generator_[0]);
+    }
+    std::vector<std::uint8_t> codeword(data.begin(), data.end());
+    // Parity appended highest-degree-first to match the polynomial view
+    // c(x) = m(x) x^(n-k) + r(x).
+    for (std::size_t j = remainder.size(); j-- > 0;) codeword.push_back(remainder[j]);
+    return codeword;
+}
+
+std::optional<Reed_solomon::Decode_result>
+Reed_solomon::decode(std::span<const std::uint8_t> received) const
+{
+    return decode_with_erasures(received, {});
+}
+
+std::optional<Reed_solomon::Decode_result>
+Reed_solomon::decode_with_erasures(std::span<const std::uint8_t> received,
+                                   std::span<const int> erasure_positions) const
+{
+    util::expects(received.size() == static_cast<std::size_t>(n_),
+                  "RS: received word must hold n symbols");
+    const int parity_count = n_ - k_;
+    const int erasure_count = static_cast<int>(erasure_positions.size());
+    if (erasure_count > parity_count) return std::nullopt;
+    for (std::size_t i = 0; i < erasure_positions.size(); ++i) {
+        util::expects(erasure_positions[i] >= 0 && erasure_positions[i] < n_,
+                      "RS: erasure position out of range");
+        for (std::size_t j = i + 1; j < erasure_positions.size(); ++j) {
+            util::expects(erasure_positions[i] != erasure_positions[j],
+                          "RS: duplicate erasure position");
+        }
+    }
+
+    // Received polynomial, lowest degree first: last symbol of `received`
+    // is the constant term.
+    Poly r(received.size());
+    for (std::size_t i = 0; i < received.size(); ++i) r[received.size() - 1 - i] = received[i];
+
+    // Syndromes S_i = r(alpha^i).
+    Poly syndromes(static_cast<std::size_t>(parity_count));
+    bool all_zero = true;
+    for (int i = 0; i < parity_count; ++i) {
+        syndromes[static_cast<std::size_t>(i)] = poly_eval(r, gf256::pow(2, i));
+        all_zero &= syndromes[static_cast<std::size_t>(i)] == 0;
+    }
+    if (all_zero) {
+        // Already a codeword; the declared erasures are consistent with it.
+        Decode_result result;
+        result.data.assign(received.begin(), received.begin() + k_);
+        return result;
+    }
+
+    // Erasure locator Gamma(x) = prod (1 + X_p x) with X_p = alpha^degree.
+    Poly gamma = {1};
+    for (const int pos : erasure_positions) {
+        const int degree = n_ - 1 - pos;
+        gamma = poly_mul(gamma, Poly{1, gf256::pow(2, degree % 255)});
+    }
+
+    // Modified syndromes Xi = (S * Gamma) mod x^(2t).
+    Poly xi(static_cast<std::size_t>(parity_count), 0);
+    for (std::size_t i = 0; i < xi.size(); ++i) {
+        for (std::size_t j = 0; j <= i && j < gamma.size(); ++j) {
+            xi[i] = gf256::add(xi[i], gf256::mul(gamma[j], syndromes[i - j]));
+        }
+    }
+
+    // Berlekamp-Massey on the modified syndromes, starting past the
+    // erasure prefix: finds the locator of the *unknown* error positions.
+    Poly sigma = {1};
+    Poly prev_sigma = {1};
+    int l = 0;
+    int m = 1;
+    std::uint8_t prev_discrepancy = 1;
+    for (int i = erasure_count; i < parity_count; ++i) {
+        std::uint8_t discrepancy = xi[static_cast<std::size_t>(i)];
+        for (int j = 1; j <= l; ++j) {
+            if (static_cast<std::size_t>(j) < sigma.size()) {
+                discrepancy = gf256::add(
+                    discrepancy, gf256::mul(sigma[static_cast<std::size_t>(j)],
+                                            xi[static_cast<std::size_t>(i - j)]));
+            }
+        }
+        if (discrepancy == 0) {
+            ++m;
+            continue;
+        }
+        const Poly sigma_backup = sigma;
+        const std::uint8_t factor = gf256::div(discrepancy, prev_discrepancy);
+        if (sigma.size() < prev_sigma.size() + static_cast<std::size_t>(m)) {
+            sigma.resize(prev_sigma.size() + static_cast<std::size_t>(m), 0);
+        }
+        for (std::size_t j = 0; j < prev_sigma.size(); ++j) {
+            sigma[j + static_cast<std::size_t>(m)] = gf256::add(
+                sigma[j + static_cast<std::size_t>(m)], gf256::mul(factor, prev_sigma[j]));
+        }
+        if (2 * l <= i - erasure_count) {
+            l = i - erasure_count + 1 - l;
+            prev_sigma = sigma_backup;
+            prev_discrepancy = discrepancy;
+            m = 1;
+        } else {
+            ++m;
+        }
+    }
+    const int error_count = l;
+    if (2 * error_count + erasure_count > parity_count) return std::nullopt;
+
+    // Combined locator Psi = sigma * Gamma covers erasures and errors.
+    Poly psi = poly_mul(sigma, gamma);
+    while (psi.size() > 1 && psi.back() == 0) psi.pop_back();
+    const auto psi_degree = static_cast<int>(psi.size()) - 1;
+
+    // Chien search: roots of Psi give all corrupted positions.
+    std::vector<int> corrupted_positions;
+    for (int pos = 0; pos < n_; ++pos) {
+        const int degree = n_ - 1 - pos;
+        const std::uint8_t x_inverse = gf256::pow(2, 255 - (degree % 255));
+        if (poly_eval(psi, x_inverse) == 0) corrupted_positions.push_back(pos);
+    }
+    if (static_cast<int>(corrupted_positions.size()) != psi_degree) return std::nullopt;
+
+    // Forney: error evaluator Omega = (S * Psi) mod x^(n-k).
+    Poly omega(static_cast<std::size_t>(parity_count), 0);
+    for (std::size_t i = 0; i < omega.size(); ++i) {
+        for (std::size_t j = 0; j <= i && j < psi.size(); ++j) {
+            omega[i] = gf256::add(omega[i], gf256::mul(psi[j], syndromes[i - j]));
+        }
+    }
+    // Formal derivative of Psi (odd-degree terms survive over GF(2^m)).
+    Poly psi_prime;
+    for (std::size_t j = 1; j < psi.size(); j += 2) {
+        psi_prime.resize(std::max(psi_prime.size(), j), 0);
+        psi_prime[j - 1] = psi[j];
+    }
+    if (psi_prime.empty()) return std::nullopt;
+
+    std::vector<std::uint8_t> corrected(received.begin(), received.end());
+    int changed_at_erasures = 0;
+    for (const int pos : corrupted_positions) {
+        const int degree = n_ - 1 - pos;
+        const std::uint8_t x = gf256::pow(2, degree % 255);
+        const std::uint8_t x_inverse = gf256::inverse(x);
+        const std::uint8_t denominator = poly_eval(psi_prime, x_inverse);
+        if (denominator == 0) return std::nullopt;
+        const std::uint8_t magnitude =
+            gf256::mul(x, gf256::div(poly_eval(omega, x_inverse), denominator));
+        corrected[static_cast<std::size_t>(pos)] =
+            gf256::add(corrected[static_cast<std::size_t>(pos)], magnitude);
+        if (magnitude != 0) {
+            bool declared = false;
+            for (const int e : erasure_positions) declared |= e == pos;
+            if (declared) ++changed_at_erasures;
+        }
+    }
+
+    // Verify: all syndromes of the corrected word must vanish.
+    Poly corrected_poly(corrected.size());
+    for (std::size_t i = 0; i < corrected.size(); ++i) {
+        corrected_poly[corrected.size() - 1 - i] = corrected[i];
+    }
+    for (int i = 0; i < parity_count; ++i) {
+        if (poly_eval(corrected_poly, gf256::pow(2, i)) != 0) return std::nullopt;
+    }
+
+    Decode_result result;
+    result.data.assign(corrected.begin(), corrected.begin() + k_);
+    result.corrected_errors = error_count;
+    result.corrected_erasures = changed_at_erasures;
+    return result;
+}
+
+} // namespace inframe::coding

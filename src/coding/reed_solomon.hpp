@@ -1,0 +1,69 @@
+// Reed-Solomon codes over GF(256).
+//
+// The paper applies XOR parity inside each GOB and notes that "common
+// error correction code such as RS code are applied" for larger GOBs,
+// leaving sophisticated ECC as future work. This is that future-work path:
+// a systematic RS(n, k) codec (polynomial 0x11d, the QR-code field) used
+// by the payload framing layer to correct — not merely detect — symbol
+// errors across a data frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace inframe::coding {
+
+// Galois field GF(2^8) arithmetic with generator polynomial x^8 + x^4 +
+// x^3 + x^2 + 1 (0x11d) and primitive element 2.
+namespace gf256 {
+
+std::uint8_t add(std::uint8_t a, std::uint8_t b);
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t div(std::uint8_t a, std::uint8_t b); // b != 0
+std::uint8_t pow(std::uint8_t a, int e);
+std::uint8_t inverse(std::uint8_t a); // a != 0
+
+} // namespace gf256
+
+class Reed_solomon {
+public:
+    // n: total symbols per codeword (<= 255); k: data symbols (< n).
+    // Corrects up to (n - k) / 2 symbol errors.
+    Reed_solomon(int n, int k);
+
+    int n() const { return n_; }
+    int k() const { return k_; }
+    int parity_symbols() const { return n_ - k_; }
+    int max_correctable() const { return (n_ - k_) / 2; }
+
+    // Systematic encode: returns data followed by parity (size n).
+    std::vector<std::uint8_t> encode(std::span<const std::uint8_t> data) const;
+
+    struct Decode_result {
+        std::vector<std::uint8_t> data; // k corrected data symbols
+        int corrected_errors = 0;       // errors at unknown positions
+        int corrected_erasures = 0;     // corrections at declared positions
+    };
+
+    // Decodes a received codeword (size n). Returns nullopt when the error
+    // pattern exceeds the correction capability.
+    std::optional<Decode_result> decode(std::span<const std::uint8_t> received) const;
+
+    // Errors-and-erasures decoding: erasure_positions lists indices into
+    // `received` whose symbols are known to be unreliable (e.g. bits from
+    // unavailable GOBs). Capability: 2 * errors + erasures <= n - k, i.e.
+    // a declared erasure costs half an undeclared error. Duplicate or
+    // out-of-range positions are rejected.
+    std::optional<Decode_result>
+    decode_with_erasures(std::span<const std::uint8_t> received,
+                         std::span<const int> erasure_positions) const;
+
+private:
+    int n_;
+    int k_;
+    std::vector<std::uint8_t> generator_; // generator polynomial, degree n-k
+};
+
+} // namespace inframe::coding

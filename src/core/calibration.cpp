@@ -1,0 +1,96 @@
+#include "core/calibration.hpp"
+
+#include "imgproc/draw.hpp"
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+
+#include <cmath>
+
+namespace inframe::core {
+
+std::array<double, 8> calibration_marker_centers(const coding::Code_geometry& geometry,
+                                                 const Calibration_params& params)
+{
+    geometry.validate();
+    const double w = geometry.screen_width;
+    const double h = geometry.screen_height;
+    const double ix = params.inset_fraction * w;
+    const double iy = params.inset_fraction * h;
+    // Clockwise from top-left, matching Homography::rect_to_quad.
+    return {ix, iy, w - ix, iy, w - ix, h - iy, ix, h - iy};
+}
+
+img::Imagef render_calibration_frame(const coding::Code_geometry& geometry,
+                                     const Calibration_params& params)
+{
+    util::expects(params.marker_fraction > 0.0 && params.marker_fraction < 0.5,
+                  "calibration: marker fraction must be in (0, 0.5)");
+    util::expects(params.inset_fraction > 0.0 && params.inset_fraction < 0.5,
+                  "calibration: inset fraction must be in (0, 0.5)");
+    img::Imagef frame(geometry.screen_width, geometry.screen_height, 1, params.background);
+    const int side = std::max(
+        2, static_cast<int>(params.marker_fraction
+                            * std::min(geometry.screen_width, geometry.screen_height)));
+    const auto centers = calibration_marker_centers(geometry, params);
+    for (int m = 0; m < 4; ++m) {
+        const int cx = static_cast<int>(std::lround(centers[static_cast<std::size_t>(2 * m)]));
+        const int cy =
+            static_cast<int>(std::lround(centers[static_cast<std::size_t>(2 * m + 1)]));
+        img::fill_rect(frame, cx - side / 2, cy - side / 2, side, side, params.marker_level);
+    }
+    return frame;
+}
+
+std::optional<std::array<double, 8>>
+detect_calibration_markers(const img::Imagef& capture, const Calibration_params& params)
+{
+    util::expects(!capture.empty(), "calibration: empty capture");
+    const img::Imagef gray = img::to_gray(capture);
+    const auto [lo, hi] = img::min_max(gray);
+    if (hi - lo < 20.0f) return std::nullopt; // no contrast: not a calibration frame
+    const float threshold = lo + 0.5f * (hi - lo);
+
+    // Bright-pixel centroid per capture quadrant, ordered clockwise from
+    // top-left to match the marker layout.
+    const int half_w = gray.width() / 2;
+    const int half_h = gray.height() / 2;
+    const int qx0[4] = {0, half_w, half_w, 0};
+    const int qy0[4] = {0, 0, half_h, half_h};
+    std::array<double, 8> centers{};
+    for (int q = 0; q < 4; ++q) {
+        double sum_x = 0.0;
+        double sum_y = 0.0;
+        double weight = 0.0;
+        int count = 0;
+        for (int y = qy0[q]; y < qy0[q] + half_h; ++y) {
+            for (int x = qx0[q]; x < qx0[q] + half_w; ++x) {
+                const float v = gray(x, y);
+                if (v <= threshold) continue;
+                const double w = v - threshold; // intensity-weighted centroid
+                sum_x += w * x;
+                sum_y += w * y;
+                weight += w;
+                ++count;
+            }
+        }
+        if (count < params.min_marker_pixels || weight <= 0.0) return std::nullopt;
+        centers[static_cast<std::size_t>(2 * q)] = sum_x / weight;
+        centers[static_cast<std::size_t>(2 * q + 1)] = sum_y / weight;
+    }
+    return centers;
+}
+
+std::optional<img::Homography>
+estimate_sensor_to_screen(const img::Imagef& capture, const coding::Code_geometry& geometry,
+                          const Calibration_params& params)
+{
+    const auto detected = detect_calibration_markers(capture, params);
+    if (!detected) return std::nullopt;
+    const auto screen = calibration_marker_centers(geometry, params);
+    // sensor -> unit square -> screen: both legs via the quad mapping.
+    const auto unit_to_sensor = img::Homography::unit_square_to_quad(*detected);
+    const auto unit_to_screen = img::Homography::unit_square_to_quad(screen);
+    return unit_to_screen * unit_to_sensor.inverse();
+}
+
+} // namespace inframe::core

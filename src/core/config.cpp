@@ -1,0 +1,33 @@
+#include "core/config.hpp"
+
+#include "util/contract.hpp"
+
+#include <cmath>
+
+namespace inframe::core {
+
+void Inframe_config::validate() const
+{
+    geometry.validate();
+    util::expects(delta > 0.0f && delta < 128.0f, "config: delta must be in (0, 128)");
+    util::expects(tau >= 2 && tau % 2 == 0, "config: tau must be even and >= 2");
+    util::expects(display_fps > 0.0 && video_fps > 0.0, "config: rates must be positive");
+    const double ratio = display_fps / video_fps;
+    util::expects(std::fabs(ratio - std::lround(ratio)) < 1e-9 && ratio >= 1.0,
+                  "config: display rate must be an integer multiple of the video rate");
+}
+
+int Inframe_config::video_repeat() const
+{
+    return static_cast<int>(std::lround(display_fps / video_fps));
+}
+
+Inframe_config paper_config(int screen_width, int screen_height)
+{
+    Inframe_config config;
+    config.geometry = coding::paper_geometry(screen_width, screen_height);
+    config.validate();
+    return config;
+}
+
+} // namespace inframe::core

@@ -1,0 +1,59 @@
+// System-level configuration for the InFrame encoder.
+#pragma once
+
+#include "coding/geometry.hpp"
+#include "dsp/envelope.hpp"
+
+#include <cstdint>
+
+namespace inframe::core {
+
+struct Inframe_config {
+    coding::Code_geometry geometry;
+
+    // Chessboard amplitude delta (pixel-value units). The paper studies
+    // 20-50; delta <= 20 with tau >= 10 keeps viewing clean (4).
+    float delta = 20.0f;
+
+    // Smoothing cycle: display frames per data frame. The complementary
+    // +D/-D pair alternates every display frame, so tau must be even; the
+    // transition to the next data frame's amplitude occupies the second
+    // half of the cycle. The paper evaluates tau = 10, 12, 14 on a 120 Hz
+    // panel.
+    //
+    // Note on units: 3.2 of the paper describes tau in "iterations" (one
+    // iteration = one complementary pair), but the throughput figures of
+    // 4 (12.6-12.8 kbps at tau = 10) only work out if a data frame lasts
+    // tau *display frames* (1125 bits x 120/10 = 13.5 kbps raw). We adopt
+    // the display-frame reading; EXPERIMENTS.md discusses the mismatch.
+    int tau = 12;
+
+    dsp::Transition_shape transition = dsp::Transition_shape::srrc;
+
+    double display_fps = 120.0;
+    double video_fps = 30.0;
+
+    // Locally reduce the amplitude of blocks whose video content would
+    // clip at 0/255 (paper: "for bright or dark areas, we locally adjust
+    // the amplitude for corresponding Blocks").
+    bool local_amplitude_cap = true;
+
+    void validate() const;
+
+    // Display frames per video frame (e.g. 4 on the paper's rig).
+    int video_repeat() const;
+
+    // Data frames per second.
+    double data_frame_rate() const { return display_fps / tau; }
+
+    // Raw payload bit rate before channel losses.
+    double raw_payload_rate() const
+    {
+        return data_frame_rate() * geometry.payload_bits_per_frame();
+    }
+};
+
+// The paper's full configuration at a given screen size.
+Inframe_config paper_config(int screen_width, int screen_height);
+
+} // namespace inframe::core

@@ -1,0 +1,370 @@
+#include "core/decoder.hpp"
+
+#include "imgproc/filter.hpp"
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace inframe::core {
+
+void Decoder_params::validate() const
+{
+    geometry.validate();
+    util::expects(capture_width > 0 && capture_height > 0,
+                  "decoder: capture size must be positive");
+    util::expects(tau >= 2 && tau % 2 == 0, "decoder: tau must be even and >= 2");
+    util::expects(display_fps > 0.0, "decoder: display rate must be positive");
+    util::expects(fixed_threshold > 0.0, "decoder: threshold must be positive");
+    util::expects(hysteresis >= 0.0 && hysteresis < 1.0, "decoder: hysteresis must be in [0, 1)");
+    util::expects(stable_fraction > 0.0 && stable_fraction <= 1.0,
+                  "decoder: stable fraction must be in (0, 1]");
+    util::expects(min_signal_level >= 0.0, "decoder: signal floor must be non-negative");
+}
+
+const char* to_string(Detector detector)
+{
+    switch (detector) {
+    case Detector::noise_level: return "noise-level";
+    case Detector::matched: return "matched-filter";
+    }
+    return "unknown";
+}
+
+Inframe_decoder::Inframe_decoder(Decoder_params params) : params_(std::move(params))
+{
+    params_.validate();
+    scale_x_ = static_cast<double>(params_.capture_width) / params_.geometry.screen_width;
+    scale_y_ = static_cast<double>(params_.capture_height) / params_.geometry.screen_height;
+    // The chessboard's cell is one Pixel (p Element pixels); on the sensor
+    // that is p * scale pixels. Smoothing over that scale flattens the
+    // pattern.
+    smooth_radius_ =
+        std::max(1, static_cast<int>(std::lround(params_.geometry.pixel_size * scale_x_ * 0.75)));
+    metric_sum_.assign(static_cast<std::size_t>(params_.geometry.block_count()), 0.0);
+    util::expects(!params_.capture_to_screen || params_.detector == Detector::matched,
+                  "decoder: perspective capture requires the matched detector");
+    if (params_.detector == Detector::matched) build_template();
+}
+
+void Inframe_decoder::build_template()
+{
+    const auto& g = params_.geometry;
+    const auto pixel_count = static_cast<std::size_t>(params_.capture_width)
+                             * static_cast<std::size_t>(params_.capture_height);
+    block_of_pixel_.assign(pixel_count, -1);
+    cos1_.assign(pixel_count, 0.0f);
+    sin1_.assign(pixel_count, 0.0f);
+    cos2_.assign(pixel_count, 0.0f);
+    sin2_.assign(pixel_count, 0.0f);
+    for (int cy = 0; cy < params_.capture_height; ++cy) {
+        for (int cx = 0; cx < params_.capture_width; ++cx) {
+            // Sensor pixel centre mapped back to screen coordinates —
+            // through the calibrated homography when viewing at an angle,
+            // otherwise through the axis-aligned scale.
+            double sx = 0.0;
+            double sy = 0.0;
+            if (params_.capture_to_screen) {
+                params_.capture_to_screen->apply(cx + 0.5, cy + 0.5, sx, sy);
+                sx -= 0.5;
+                sy -= 0.5;
+            } else {
+                sx = (cx + 0.5) / scale_x_ - 0.5;
+                sy = (cy + 0.5) / scale_y_ - 0.5;
+            }
+            // Continuous Pixel coordinates within the active area.
+            const double pxf = (sx - g.origin_x()) / g.pixel_size;
+            const double pyf = (sy - g.origin_y()) / g.pixel_size;
+            const int px = static_cast<int>(std::floor(pxf));
+            const int py = static_cast<int>(std::floor(pyf));
+            if (px < 0 || py < 0 || px >= g.blocks_x * g.block_pixels
+                || py >= g.blocks_y * g.block_pixels) {
+                continue;
+            }
+            // Interior Pixels only: skip the outermost ring of each block
+            // so neighbouring blocks do not bleed in.
+            const int lx = px % g.block_pixels;
+            const int ly = py % g.block_pixels;
+            if (lx == 0 || ly == 0 || lx == g.block_pixels - 1 || ly == g.block_pixels - 1) {
+                continue;
+            }
+            const auto index = static_cast<std::size_t>(cy)
+                                   * static_cast<std::size_t>(params_.capture_width)
+                               + static_cast<std::size_t>(cx);
+            block_of_pixel_[index] =
+                g.block_index(px / g.block_pixels, py / g.block_pixels);
+            // The chessboard's two diagonal fundamentals: spatial
+            // frequency half a cycle per Pixel along both diagonals.
+            const double phase1 = std::numbers::pi * (pxf + pyf);
+            const double phase2 = std::numbers::pi * (pxf - pyf);
+            cos1_[index] = static_cast<float>(std::cos(phase1));
+            sin1_[index] = static_cast<float>(std::sin(phase1));
+            cos2_[index] = static_cast<float>(std::cos(phase2));
+            sin2_[index] = static_cast<float>(std::sin(phase2));
+        }
+    }
+}
+
+std::vector<double> Inframe_decoder::block_metrics(const img::Imagef& capture) const
+{
+    util::expects(capture.width() == params_.capture_width
+                      && capture.height() == params_.capture_height,
+                  "decoder: capture size mismatch");
+    if (capture.channels() != 1) {
+        // The pattern is a luminance modulation; demodulate on luminance.
+        const img::Imagef gray = img::to_gray(capture);
+        return params_.detector == Detector::matched ? matched_metrics(gray)
+                                                     : noise_level_metrics(gray);
+    }
+    return params_.detector == Detector::matched ? matched_metrics(capture)
+                                                 : noise_level_metrics(capture);
+}
+
+std::vector<double> Inframe_decoder::matched_metrics(const img::Imagef& capture) const
+{
+    const auto& g = params_.geometry;
+    const auto blocks = static_cast<std::size_t>(g.block_count());
+
+    // Per-block accumulators for the quadrature correlation. The block
+    // mean is removed via the accumulated template sums so partial blocks
+    // stay unbiased.
+    struct Acc {
+        double n = 0.0;
+        double sum = 0.0;
+        double ic1 = 0.0, is1 = 0.0, ic2 = 0.0, is2 = 0.0;
+        double tc1 = 0.0, ts1 = 0.0, tc2 = 0.0, ts2 = 0.0;
+    };
+    std::vector<Acc> acc(blocks);
+
+    const auto stride = static_cast<std::size_t>(capture.width());
+    for (int cy = 0; cy < capture.height(); ++cy) {
+        const auto row = capture.row(cy);
+        const auto base = static_cast<std::size_t>(cy) * stride;
+        for (int cx = 0; cx < capture.width(); ++cx) {
+            const auto index = base + static_cast<std::size_t>(cx);
+            const auto block = block_of_pixel_[index];
+            if (block < 0) continue;
+            auto& a = acc[static_cast<std::size_t>(block)];
+            const double v = row[static_cast<std::size_t>(cx)];
+            a.n += 1.0;
+            a.sum += v;
+            a.ic1 += v * cos1_[index];
+            a.is1 += v * sin1_[index];
+            a.ic2 += v * cos2_[index];
+            a.is2 += v * sin2_[index];
+            a.tc1 += cos1_[index];
+            a.ts1 += sin1_[index];
+            a.tc2 += cos2_[index];
+            a.ts2 += sin2_[index];
+        }
+    }
+
+    std::vector<double> metrics(blocks, 0.0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const auto& a = acc[b];
+        if (a.n < 9.0) continue; // too few samples to judge
+        const double mean = a.sum / a.n;
+        const double corr1 = std::hypot(a.ic1 - mean * a.tc1, a.is1 - mean * a.ts1);
+        const double corr2 = std::hypot(a.ic2 - mean * a.tc2, a.is2 - mean * a.ts2);
+        metrics[b] = 2.0 * (corr1 + corr2) / a.n;
+    }
+    return metrics;
+}
+
+std::vector<double> Inframe_decoder::noise_level_metrics(const img::Imagef& capture) const
+{
+    const auto& g = params_.geometry;
+
+    // High-band residual: |I - smooth(I)| captures the chessboard plus
+    // fine texture and sensor noise.
+    const img::Imagef smoothed = img::box_blur(capture, smooth_radius_);
+    const img::Imagef high_band = img::abs_diff(capture, smoothed);
+
+    // Octave-lower residual: texture is broadband, the chessboard is not.
+    img::Imagef mid_band;
+    if (params_.texture_compensation) {
+        const img::Imagef smoother = img::box_blur(smoothed, 2 * smooth_radius_ + 1);
+        mid_band = img::abs_diff(smoothed, smoother);
+    }
+
+    std::vector<double> metrics(static_cast<std::size_t>(g.block_count()), 0.0);
+    for (int by = 0; by < g.blocks_y; ++by) {
+        for (int bx = 0; bx < g.blocks_x; ++bx) {
+            const auto rect = g.block_rect(bx, by);
+            // Block rectangle in capture coordinates, shrunk by one sensor
+            // pixel on each side so neighbouring blocks do not bleed in.
+            int cx0 = static_cast<int>(std::ceil(rect.x0 * scale_x_)) + 1;
+            int cy0 = static_cast<int>(std::ceil(rect.y0 * scale_y_)) + 1;
+            int cx1 = static_cast<int>(std::floor((rect.x0 + rect.size) * scale_x_)) - 1;
+            int cy1 = static_cast<int>(std::floor((rect.y0 + rect.size) * scale_y_)) - 1;
+            cx0 = std::clamp(cx0, 0, capture.width() - 1);
+            cy0 = std::clamp(cy0, 0, capture.height() - 1);
+            cx1 = std::clamp(cx1, cx0 + 1, capture.width());
+            cy1 = std::clamp(cy1, cy0 + 1, capture.height());
+            const int w = cx1 - cx0;
+            const int h = cy1 - cy0;
+            double metric = img::mean_region(high_band, cx0, cy0, w, h);
+            if (params_.texture_compensation) {
+                metric -= img::mean_region(mid_band, cx0, cy0, w, h);
+            }
+            metrics[static_cast<std::size_t>(g.block_index(bx, by))] = std::max(metric, 0.0);
+        }
+    }
+    return metrics;
+}
+
+Inframe_decoder::Threshold_split
+Inframe_decoder::split_metrics(std::span<const double> metrics) const
+{
+    util::expects(!metrics.empty(), "decoder: cannot pick a threshold from no metrics");
+
+    // Otsu's method on the sorted metric values: choose the split that
+    // maximizes between-class variance.
+    std::vector<double> sorted(metrics.begin(), metrics.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    std::vector<double> prefix(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + sorted[i];
+    const double total = prefix[n];
+
+    double best_score = -1.0;
+    std::size_t best_split = 1;
+    for (std::size_t split = 1; split < n; ++split) {
+        const double w0 = static_cast<double>(split);
+        const double w1 = static_cast<double>(n - split);
+        const double mean0 = prefix[split] / w0;
+        const double mean1 = (total - prefix[split]) / w1;
+        const double score = w0 * w1 * (mean0 - mean1) * (mean0 - mean1);
+        if (score > best_score) {
+            best_score = score;
+            best_split = split;
+        }
+    }
+    const double lower_mean = prefix[best_split] / static_cast<double>(best_split);
+    const double upper_mean =
+        (total - prefix[best_split]) / static_cast<double>(n - best_split);
+
+    // Within-class spread on both sides of the split.
+    double var_lower = 0.0;
+    double var_upper = 0.0;
+    for (std::size_t i = 0; i < best_split; ++i) {
+        var_lower += (sorted[i] - lower_mean) * (sorted[i] - lower_mean);
+    }
+    for (std::size_t i = best_split; i < n; ++i) {
+        var_upper += (sorted[i] - upper_mean) * (sorted[i] - upper_mean);
+    }
+    var_lower /= static_cast<double>(std::max<std::size_t>(best_split, 1));
+    var_upper /= static_cast<double>(std::max<std::size_t>(n - best_split, 1));
+    const double pooled_sigma = std::sqrt((var_lower + var_upper) / 2.0) + 1e-9;
+    const double dprime = (upper_mean - lower_mean) / pooled_sigma;
+
+    Threshold_split result;
+    result.value = (lower_mean + upper_mean) / 2.0;
+    result.dprime = dprime;
+    // Degenerate distribution: classes not separated, the "signal" class
+    // inside the noise floor, or the separation quality too poor to
+    // classify reliably — either way, no trustworthy chessboard
+    // population among these blocks.
+    result.bimodal = upper_mean >= lower_mean * 1.5 + 0.25
+                     && upper_mean >= params_.min_signal_level
+                     && dprime >= params_.min_separation_dprime;
+    return result;
+}
+
+double Inframe_decoder::select_threshold(std::span<const double> metrics) const
+{
+    if (!params_.auto_threshold) return params_.fixed_threshold;
+    const auto split = split_metrics(metrics);
+    return split.bimodal ? split.value : params_.fixed_threshold;
+}
+
+std::vector<Data_frame_result> Inframe_decoder::push_capture(const img::Imagef& capture,
+                                                             double start_time)
+{
+    util::expects(start_time >= 0.0, "decoder: capture time must be non-negative");
+    std::vector<Data_frame_result> finalized;
+
+    const double frame_period = params_.tau / params_.display_fps;
+    const std::int64_t frame_index = static_cast<std::int64_t>(start_time / frame_period);
+
+    while (frame_index > current_frame_) {
+        finalized.push_back(finalize());
+    }
+
+    // Phase of the capture within the tau cycle; transition-region
+    // captures do not vote.
+    const double phase = (start_time - static_cast<double>(current_frame_) * frame_period)
+                         / frame_period;
+    // Strictly inside the stable window: a capture starting exactly at the
+    // half-cycle boundary already integrates the transition ramp.
+    if (phase < params_.stable_fraction - 1e-9) {
+        const auto metrics = block_metrics(capture);
+        for (std::size_t i = 0; i < metrics.size(); ++i) metric_sum_[i] += metrics[i];
+        ++captures_in_frame_;
+    }
+    return finalized;
+}
+
+std::optional<Data_frame_result> Inframe_decoder::flush()
+{
+    if (captures_in_frame_ == 0) return std::nullopt;
+    return finalize();
+}
+
+Data_frame_result Inframe_decoder::finalize()
+{
+    Data_frame_result result;
+    result.data_frame_index = current_frame_;
+    result.captures_used = captures_in_frame_;
+
+    const auto block_count = static_cast<std::size_t>(params_.geometry.block_count());
+    result.decisions.assign(block_count, coding::Block_decision::unknown);
+
+    if (captures_in_frame_ > 0) {
+        std::vector<double> metrics(block_count);
+        for (std::size_t i = 0; i < block_count; ++i) {
+            metrics[i] = metric_sum_[i] / captures_in_frame_;
+        }
+        auto classify = [&](std::size_t begin, std::size_t count, double threshold) {
+            const double hi = threshold * (1.0 + params_.hysteresis);
+            const double lo = threshold * (1.0 - params_.hysteresis);
+            for (std::size_t i = begin; i < begin + count; ++i) {
+                if (metrics[i] >= hi) {
+                    result.decisions[i] = coding::Block_decision::one;
+                } else if (metrics[i] <= lo) {
+                    result.decisions[i] = coding::Block_decision::zero;
+                }
+            }
+        };
+        if (params_.auto_threshold && params_.row_adaptive) {
+            // Per block-row split: adapts to rolling-shutter bands. Rows
+            // whose classes are inseparable stay unknown.
+            const auto row = static_cast<std::size_t>(params_.geometry.blocks_x);
+            util::Running_stats chosen;
+            for (std::size_t by = 0; by < static_cast<std::size_t>(params_.geometry.blocks_y);
+                 ++by) {
+                const auto split =
+                    split_metrics(std::span(metrics).subspan(by * row, row));
+                if (!split.bimodal) continue;
+                classify(by * row, row, split.value);
+                chosen.add(split.value);
+            }
+            result.threshold = chosen.count() > 0 ? chosen.mean() : 0.0;
+        } else {
+            const double threshold = select_threshold(metrics);
+            result.threshold = threshold;
+            classify(0, block_count, threshold);
+        }
+    }
+    result.gob = coding::decode_gob_parity(params_.geometry, result.decisions);
+
+    std::fill(metric_sum_.begin(), metric_sum_.end(), 0.0);
+    captures_in_frame_ = 0;
+    ++current_frame_;
+    return result;
+}
+
+} // namespace inframe::core

@@ -1,0 +1,165 @@
+// InFrame decoder: demultiplexes data from captured frames (paper 3.3).
+//
+// Per capture, for every Block: smooth the block, subtract the smoothed
+// content from the original, and sum the absolute difference — the
+// chessboard (bit 1) leaves a large high-frequency residual that ordinary
+// video content does not. "To work around high-texture areas we further
+// remove the mean absolute difference": here implemented as subtracting
+// the same residual measured one octave lower, which natural texture
+// populates and the chessboard (living exactly at the Pixel-grid Nyquist
+// frequency) does not.
+//
+// Captures are grouped by the data frame on air at their exposure time
+// (the receiver knows tau and the display rate; frame-level sync is
+// assumed, as in the paper's strawman). Only captures inside the stable
+// first half of the tau cycle vote — the second half may be mid-transition
+// to the next data frame. A block whose aggregated metric lands in the
+// hysteresis band around the threshold is reported `unknown`, which makes
+// its whole GOB unavailable (the paper's "available GOB" notion).
+#pragma once
+
+#include "coding/parity.hpp"
+#include "core/config.hpp"
+#include "imgproc/image.hpp"
+#include "imgproc/warp.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace inframe::core {
+
+// Block-bit detector.
+//  - noise_level: the paper's scheme — smooth, subtract, sum |difference|
+//    (3.3). Content-agnostic but leaks on high-texture video.
+//  - matched: correlate the capture against the known chessboard template
+//    (the demultiplexer knows the Pixel grid). Random texture and sensor
+//    noise decorrelate, so this survives much busier content; it is the
+//    "more effective scheme" the paper's 5 asks for and is compared in
+//    bench_ablation_params.
+enum class Detector : std::uint8_t { noise_level, matched };
+
+const char* to_string(Detector detector);
+
+struct Decoder_params {
+    coding::Code_geometry geometry; // screen-space layout
+
+    Detector detector = Detector::noise_level;
+
+    // Calibrated perspective of the capture (sensor -> screen coordinates,
+    // matching channel::Camera_params::sensor_to_screen). Requires the
+    // matched detector: block regions become quadrilaterals that the
+    // per-pixel template mapping handles naturally.
+    std::optional<img::Homography> capture_to_screen;
+
+    // Capture resolution (the camera's, e.g. 1280x720 for a 1920x1080
+    // screen).
+    int capture_width = 1280;
+    int capture_height = 720;
+
+    int tau = 12;
+    double display_fps = 120.0;
+
+    // Subtract the octave-lower residual (texture compensation).
+    bool texture_compensation = true;
+
+    // Threshold selection: automatic (Otsu split of the block metrics) or
+    // fixed.
+    bool auto_threshold = true;
+    double fixed_threshold = 2.0;
+
+    // With auto thresholding, split each block-row separately. Rolling
+    // shutter cancels the pattern in horizontal bands (rows whose exposure
+    // straddles a +D/-D boundary); a per-row split adapts to the local
+    // pattern strength and — crucially — marks rows whose two classes are
+    // not separable as unknown instead of reading them as confident
+    // all-zeros, which XOR parity cannot catch.
+    bool row_adaptive = true;
+
+    // Fraction around the threshold treated as "no confident decision".
+    double hysteresis = 0.2;
+
+    // Minimum upper-class metric for a split to count as signal: guards
+    // against Otsu "finding" a split inside the noise floor when the
+    // pattern has been destroyed entirely (e.g. defocused capture).
+    double min_signal_level = 0.6;
+
+    // Minimum separation quality d' = (m1 - m0) / pooled-sigma for the
+    // split to be trusted. Classes closer than this misclassify at rates
+    // parity cannot contain, so the row is reported unknown instead.
+    double min_separation_dprime = 3.0;
+
+    // Captures whose mid-exposure phase within the tau cycle is at or
+    // beyond this fraction are ignored (transition region).
+    double stable_fraction = 0.5;
+
+    void validate() const;
+};
+
+struct Data_frame_result {
+    std::int64_t data_frame_index = 0;
+    int captures_used = 0;
+    double threshold = 0.0;
+    std::vector<coding::Block_decision> decisions;
+    coding::Frame_decode_result gob;
+};
+
+class Inframe_decoder {
+public:
+    explicit Inframe_decoder(Decoder_params params);
+
+    // Feeds a capture with the wall-clock time its exposure began.
+    // Returns data frames finalized by this capture (zero or one, in
+    // order).
+    std::vector<Data_frame_result> push_capture(const img::Imagef& capture,
+                                                double start_time);
+
+    // Finalizes the data frame currently being accumulated (end of
+    // stream).
+    std::optional<Data_frame_result> flush();
+
+    // Per-block residual metrics for one capture (exposed for analysis
+    // and benches).
+    std::vector<double> block_metrics(const img::Imagef& capture) const;
+
+    // Otsu split of a metric vector. bimodal is false when the two
+    // classes are not separated (no detectable signal population).
+    struct Threshold_split {
+        double value = 0.0;
+        bool bimodal = false;
+        // Separation quality (upper mean - lower mean) / pooled sigma.
+        double dprime = 0.0;
+    };
+    Threshold_split split_metrics(std::span<const double> metrics) const;
+
+    // The threshold that would be chosen for a metric vector (fixed
+    // threshold when auto selection is off or the split is degenerate).
+    double select_threshold(std::span<const double> metrics) const;
+
+    const Decoder_params& params() const { return params_; }
+
+private:
+    Data_frame_result finalize();
+    std::vector<double> noise_level_metrics(const img::Imagef& capture) const;
+    std::vector<double> matched_metrics(const img::Imagef& capture) const;
+    void build_template();
+
+    Decoder_params params_;
+    double scale_x_;
+    double scale_y_;
+    int smooth_radius_;
+
+    // Matched-filter tables (one entry per sensor pixel): owning block
+    // (-1 = outside/border) and the quadrature phases of the chessboard's
+    // two diagonal fundamentals at that pixel. Correlating against
+    // cos/sin of both makes the detector invariant to sub-period
+    // misalignment of the calibration.
+    std::vector<std::int32_t> block_of_pixel_;
+    std::vector<float> cos1_, sin1_, cos2_, sin2_;
+
+    std::int64_t current_frame_ = 0;
+    std::vector<double> metric_sum_;
+    int captures_in_frame_ = 0;
+};
+
+} // namespace inframe::core

@@ -1,0 +1,209 @@
+#include "core/encoder.hpp"
+
+#include "coding/parity.hpp"
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+
+#include <algorithm>
+
+namespace inframe::core {
+
+Inframe_encoder::Inframe_encoder(Inframe_config config) : config_(std::move(config))
+{
+    config_.validate();
+    idle_bits_.assign(static_cast<std::size_t>(config_.geometry.block_count()), 0);
+    block_min_.assign(static_cast<std::size_t>(config_.geometry.block_count()), 0.0f);
+    block_max_.assign(static_cast<std::size_t>(config_.geometry.block_count()), 255.0f);
+}
+
+void Inframe_encoder::queue_payload(std::span<const std::uint8_t> payload_bits)
+{
+    queue_.push_back(coding::encode_gob_parity(config_.geometry, payload_bits));
+}
+
+void Inframe_encoder::queue_block_bits(std::vector<std::uint8_t> block_bits)
+{
+    util::expects(block_bits.size() == static_cast<std::size_t>(config_.geometry.block_count()),
+                  "encoder: block bit count mismatch");
+    queue_.push_back(std::move(block_bits));
+}
+
+const std::vector<std::uint8_t>& Inframe_encoder::bits_for(std::int64_t data_index)
+{
+    while (static_cast<std::int64_t>(history_.size()) <= data_index) {
+        const bool idle_now =
+            paused_ && static_cast<std::int64_t>(history_.size()) >= pause_boundary_;
+        if (idle_now || queue_.empty()) {
+            history_.push_back(idle_bits_);
+        } else {
+            history_.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+    }
+    return history_[static_cast<std::size_t>(data_index)];
+}
+
+void Inframe_encoder::pause()
+{
+    if (paused_) return;
+    paused_ = true;
+    const std::int64_t current = display_index_ / config_.tau;
+    if (history_.empty()) {
+        pause_boundary_ = current; // nothing aired yet: idle immediately
+        return;
+    }
+    // Return the peeked-ahead (not yet aired) frames to the queue so
+    // resume() continues without losing data.
+    while (static_cast<std::int64_t>(history_.size()) > current + 1) {
+        auto bits = std::move(history_.back());
+        history_.pop_back();
+        if (bits != idle_bits_) queue_.push_front(std::move(bits));
+    }
+    pause_boundary_ = static_cast<std::int64_t>(history_.size());
+}
+
+void Inframe_encoder::resume()
+{
+    paused_ = false;
+    pause_boundary_ = -1;
+}
+
+bool Inframe_encoder::idle() const
+{
+    return paused_ && pause_boundary_ >= 0 && display_index_ / config_.tau >= pause_boundary_;
+}
+
+const std::vector<std::uint8_t>*
+Inframe_encoder::transmitted_block_bits(std::int64_t data_index) const
+{
+    if (data_index < 0 || data_index >= static_cast<std::int64_t>(history_.size())) {
+        return nullptr;
+    }
+    return &history_[static_cast<std::size_t>(data_index)];
+}
+
+float Inframe_encoder::envelope_gain(std::uint8_t current_bit, std::uint8_t next_bit,
+                                     int phase) const
+{
+    const int half = config_.tau / 2;
+    if (current_bit == next_bit || phase < half) {
+        return current_bit ? 1.0f : 0.0f;
+    }
+    const double t = static_cast<double>(phase - half + 1) / static_cast<double>(half);
+    return static_cast<float>(current_bit ? dsp::transition_gain_10(config_.transition, t)
+                                          : dsp::transition_gain_01(config_.transition, t));
+}
+
+void Inframe_encoder::refresh_video_stats(const img::Imagef& video_frame)
+{
+    const auto& g = config_.geometry;
+    for (int by = 0; by < g.blocks_y; ++by) {
+        for (int bx = 0; bx < g.blocks_x; ++bx) {
+            const auto rect = g.block_rect(bx, by);
+            float lo = 255.0f;
+            float hi = 0.0f;
+            for (int y = rect.y0; y < rect.y0 + rect.size; ++y) {
+                for (int x = rect.x0; x < rect.x0 + rect.size; ++x) {
+                    for (int c = 0; c < video_frame.channels(); ++c) {
+                        const float v = video_frame(x, y, c);
+                        lo = std::min(lo, v);
+                        hi = std::max(hi, v);
+                    }
+                }
+            }
+            const auto index = static_cast<std::size_t>(g.block_index(bx, by));
+            block_min_[index] = lo;
+            block_max_[index] = hi;
+        }
+    }
+}
+
+img::Imagef Inframe_encoder::next_display_frame(const img::Imagef& video_frame)
+{
+    const auto& g = config_.geometry;
+    util::expects(video_frame.width() == g.screen_width
+                      && video_frame.height() == g.screen_height,
+                  "encoder: video frame does not match geometry");
+
+    const std::int64_t j = display_index_;
+    const std::int64_t data_index = j / config_.tau;
+    const int phase = static_cast<int>(j % config_.tau);
+    const float sign = (j % 2 == 0) ? 1.0f : -1.0f;
+
+    // Per-block min/max refresh once per video frame (the pair V+D, V-D
+    // must share the cap so complementarity survives clamping).
+    const std::int64_t video_index = j / config_.video_repeat();
+    if (config_.local_amplitude_cap && video_index != stats_video_frame_) {
+        refresh_video_stats(video_frame);
+        stats_video_frame_ = video_index;
+    }
+
+    // Materialize the next frame's bits first: bits_for can grow history_
+    // and would invalidate a previously taken reference.
+    const auto& next = bits_for(data_index + 1);
+    const auto& current = bits_for(data_index);
+
+    img::Imagef out = video_frame;
+    for (int by = 0; by < g.blocks_y; ++by) {
+        for (int bx = 0; bx < g.blocks_x; ++bx) {
+            const auto index = static_cast<std::size_t>(g.block_index(bx, by));
+            const float gain = envelope_gain(current[index], next[index], phase);
+            if (gain <= 0.0f) continue;
+            float amplitude = config_.delta * gain;
+            if (config_.local_amplitude_cap) {
+                // V + D must stay <= 255 and V - D >= 0 for the raised
+                // Pixels; cap symmetrically so the pair still cancels.
+                const float headroom =
+                    std::min(255.0f - block_max_[index], block_min_[index]);
+                amplitude = std::clamp(amplitude, 0.0f, std::max(headroom, 0.0f));
+            }
+            if (amplitude <= 0.0f) continue;
+            coding::add_chessboard_block(out, g, bx, by, sign * amplitude);
+        }
+    }
+    img::clamp(out, 0.0f, 255.0f);
+    ++display_index_;
+    return out;
+}
+
+Complementary_pair make_complementary_pair(const Inframe_config& config,
+                                           const img::Imagef& video_frame,
+                                           std::span<const std::uint8_t> block_bits)
+{
+    config.validate();
+    const auto& g = config.geometry;
+    util::expects(video_frame.width() == g.screen_width
+                      && video_frame.height() == g.screen_height,
+                  "complementary pair: video frame does not match geometry");
+    util::expects(block_bits.size() == static_cast<std::size_t>(g.block_count()),
+                  "complementary pair: block bit count mismatch");
+
+    Complementary_pair pair{video_frame, video_frame};
+    for (int by = 0; by < g.blocks_y; ++by) {
+        for (int bx = 0; bx < g.blocks_x; ++bx) {
+            if (!block_bits[static_cast<std::size_t>(g.block_index(bx, by))]) continue;
+            float amplitude = config.delta;
+            if (config.local_amplitude_cap) {
+                const auto rect = g.block_rect(bx, by);
+                float lo = 255.0f;
+                float hi = 0.0f;
+                for (int y = rect.y0; y < rect.y0 + rect.size; ++y) {
+                    for (int x = rect.x0; x < rect.x0 + rect.size; ++x) {
+                        for (int c = 0; c < video_frame.channels(); ++c) {
+                            lo = std::min(lo, video_frame(x, y, c));
+                            hi = std::max(hi, video_frame(x, y, c));
+                        }
+                    }
+                }
+                amplitude = std::clamp(amplitude, 0.0f, std::max(std::min(255.0f - hi, lo), 0.0f));
+            }
+            coding::add_chessboard_block(pair.plus, config.geometry, bx, by, amplitude);
+            coding::add_chessboard_block(pair.minus, config.geometry, bx, by, -amplitude);
+        }
+    }
+    img::clamp(pair.plus, 0.0f, 255.0f);
+    img::clamp(pair.minus, 0.0f, 255.0f);
+    return pair;
+}
+
+} // namespace inframe::core

@@ -1,0 +1,197 @@
+#include "core/link_runner.hpp"
+
+#include "core/session.hpp"
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace inframe::core {
+
+Link_experiment_result run_link_experiment(const Link_experiment_config& config)
+{
+    util::expects(config.video != nullptr, "link experiment: video source required");
+    util::expects(config.duration_s > 0.0, "link experiment: duration must be positive");
+    config.inframe.validate();
+    util::expects(config.video->width() == config.inframe.geometry.screen_width
+                      && config.video->height() == config.inframe.geometry.screen_height,
+                  "link experiment: video size must match geometry");
+
+    Inframe_encoder encoder(config.inframe);
+
+    Decoder_params decoder_params = make_decoder_params(
+        config.inframe, config.camera.sensor_width, config.camera.sensor_height);
+    decoder_params.detector = config.detector;
+    decoder_params.texture_compensation = config.texture_compensation;
+    decoder_params.auto_threshold = config.auto_threshold;
+    decoder_params.fixed_threshold = config.fixed_threshold;
+    decoder_params.hysteresis = config.hysteresis;
+    decoder_params.capture_to_screen = config.decoder_capture_to_screen;
+    Inframe_decoder decoder(decoder_params);
+
+    channel::Camera_params camera = config.camera;
+    if (config.auto_exposure) {
+        camera = channel::auto_expose(camera, img::mean(config.video->frame(0)));
+    }
+    channel::Screen_camera_link link(config.display, camera,
+                                     config.inframe.geometry.screen_width,
+                                     config.inframe.geometry.screen_height);
+
+    // The paper drives the channel from "a pseudo-random data generator
+    // with a pre-set seed"; queue enough random data frames up front.
+    util::Prng data_prng(config.data_seed);
+    const auto total_display_frames =
+        static_cast<std::int64_t>(std::llround(config.duration_s * config.inframe.display_fps));
+    const auto total_data_frames = total_display_frames / config.inframe.tau + 2;
+    for (std::int64_t i = 0; i < total_data_frames; ++i) {
+        encoder.queue_payload(data_prng.next_bits(
+            static_cast<std::size_t>(config.inframe.geometry.payload_bits_per_frame())));
+    }
+
+    const video::Playback_schedule schedule{config.inframe.display_fps,
+                                            config.inframe.video_fps};
+
+    std::vector<Data_frame_result> results;
+    for (std::int64_t j = 0; j < total_display_frames; ++j) {
+        const auto video_frame = config.video->frame(schedule.video_frame_for_display(j));
+        const auto display_frame = encoder.next_display_frame(video_frame);
+        for (const auto& capture : link.push_display_frame(display_frame)) {
+            for (auto& result : decoder.push_capture(capture.image, capture.start_time)) {
+                results.push_back(std::move(result));
+            }
+        }
+    }
+    if (auto last = decoder.flush()) results.push_back(std::move(*last));
+
+    Link_experiment_result out;
+    out.duration_s = config.duration_s;
+    out.raw_rate_kbps = config.inframe.raw_payload_rate() / 1000.0;
+
+    util::Running_stats available;
+    util::Running_stats errors;
+    std::size_t good_bits = 0;
+    std::size_t confident_blocks = 0;
+    std::size_t wrong_blocks = 0;
+    std::size_t unknown_blocks = 0;
+    std::size_t total_blocks = 0;
+    std::size_t trusted_bits = 0;
+    std::size_t trusted_bit_errors = 0;
+    int captures_used = 0;
+
+    const auto& geometry = config.inframe.geometry;
+    for (const auto& result : results) {
+        // Only fully transmitted data frames count (the tail may be cut).
+        if ((result.data_frame_index + 1) * config.inframe.tau > total_display_frames) continue;
+        const auto* truth = encoder.transmitted_block_bits(result.data_frame_index);
+        if (truth == nullptr) continue;
+        ++out.data_frames;
+        captures_used += result.captures_used;
+        available.add(result.gob.available_ratio);
+        errors.add(result.gob.error_rate);
+        good_bits += result.gob.good_payload_bits;
+
+        for (std::size_t b = 0; b < result.decisions.size(); ++b) {
+            ++total_blocks;
+            const auto decision = result.decisions[b];
+            if (decision == coding::Block_decision::unknown) {
+                ++unknown_blocks;
+                continue;
+            }
+            ++confident_blocks;
+            const std::uint8_t bit = decision == coding::Block_decision::one ? 1 : 0;
+            if (bit != (*truth)[b]) ++wrong_blocks;
+        }
+
+        // True errors hiding inside trusted (available, parity-OK) GOBs.
+        const int m = geometry.gob_size;
+        for (int gy = 0; gy < geometry.gobs_y(); ++gy) {
+            for (int gx = 0; gx < geometry.gobs_x(); ++gx) {
+                const auto& gob =
+                    result.gob.gobs[static_cast<std::size_t>(gy * geometry.gobs_x() + gx)];
+                if (!gob.available || !gob.parity_ok) continue;
+                int payload_slot = 0;
+                for (int jj = 0; jj < m; ++jj) {
+                    for (int ii = 0; ii < m; ++ii) {
+                        if (jj == m - 1 && ii == m - 1) continue; // parity block
+                        const auto block =
+                            static_cast<std::size_t>(geometry.block_index(gx * m + ii, gy * m + jj));
+                        ++trusted_bits;
+                        const std::uint8_t decoded =
+                            gob.payload_bits[static_cast<std::size_t>(payload_slot++)];
+                        if (decoded != (*truth)[block]) ++trusted_bit_errors;
+                    }
+                }
+            }
+        }
+    }
+
+    out.captures = captures_used;
+    out.available_gob_ratio = available.mean();
+    out.gob_error_rate = errors.mean();
+    const double effective_duration =
+        out.data_frames / config.inframe.data_frame_rate();
+    out.goodput_kbps =
+        effective_duration > 0.0 ? static_cast<double>(good_bits) / effective_duration / 1000.0
+                                 : 0.0;
+    out.block_error_rate = confident_blocks > 0
+                               ? static_cast<double>(wrong_blocks) / confident_blocks
+                               : 0.0;
+    out.unknown_block_ratio =
+        total_blocks > 0 ? static_cast<double>(unknown_blocks) / total_blocks : 0.0;
+    out.trusted_bit_error_rate =
+        trusted_bits > 0 ? static_cast<double>(trusted_bit_errors) / trusted_bits : 0.0;
+    return out;
+}
+
+hvs::Panel_result run_flicker_experiment(const Flicker_experiment_config& config)
+{
+    util::expects(config.video != nullptr, "flicker experiment: video source required");
+    util::expects(config.duration_s > 0.0, "flicker experiment: duration must be positive");
+    util::expects(config.observers >= 1, "flicker experiment: need at least one observer");
+    config.inframe.validate();
+
+    Inframe_encoder encoder(config.inframe);
+    util::Prng data_prng(config.data_seed);
+    const auto total_display_frames =
+        static_cast<std::int64_t>(std::llround(config.duration_s * config.inframe.display_fps));
+    for (std::int64_t i = 0; i <= total_display_frames / config.inframe.tau + 1; ++i) {
+        encoder.queue_payload(data_prng.next_bits(
+            static_cast<std::size_t>(config.inframe.geometry.payload_bits_per_frame())));
+    }
+
+    const auto panel = hvs::make_observer_panel(config.observers, config.observer_seed);
+    std::vector<hvs::Flicker_assessor> assessors;
+    assessors.reserve(panel.size());
+    for (const auto& observer : panel) {
+        assessors.emplace_back(config.inframe.geometry.screen_width,
+                               config.inframe.geometry.screen_height,
+                               config.inframe.display_fps, config.vision, observer,
+                               config.options);
+    }
+
+    const video::Playback_schedule schedule{config.inframe.display_fps,
+                                            config.inframe.video_fps};
+    for (std::int64_t j = 0; j < total_display_frames; ++j) {
+        const auto video_frame = config.video->frame(schedule.video_frame_for_display(j));
+        const auto display_frame = config.frame_producer
+                                       ? config.frame_producer(video_frame, j)
+                                       : encoder.next_display_frame(video_frame);
+        // The paper's side-by-side protocol: observers rate the difference
+        // from the unmodified video, not the video's own motion.
+        for (auto& assessor : assessors) assessor.push_frame_pair(display_frame, video_frame);
+    }
+
+    hvs::Panel_result result;
+    util::Running_stats stats;
+    for (const auto& assessor : assessors) {
+        const auto r = assessor.result();
+        result.scores.push_back(r.score);
+        stats.add(r.score);
+    }
+    result.mean_score = stats.mean();
+    result.stddev_score = stats.stddev();
+    return result;
+}
+
+} // namespace inframe::core

@@ -1,0 +1,81 @@
+// End-to-end experiment harnesses.
+//
+// run_link_experiment drives video + random data through encoder ->
+// display -> camera -> decoder and accounts throughput the way the paper's
+// Fig. 7 does (available-GOB ratio, GOB error rate, goodput).
+//
+// run_flicker_experiment drives encoder output into the simulated observer
+// panel — the stand-in for the paper's Fig. 6 user study.
+#pragma once
+
+#include "channel/link.hpp"
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "hvs/flicker.hpp"
+#include "video/playback.hpp"
+
+#include <functional>
+#include <memory>
+
+namespace inframe::core {
+
+struct Link_experiment_config {
+    std::shared_ptr<const video::Video_source> video;
+    Inframe_config inframe;
+    channel::Display_params display;
+    channel::Camera_params camera;
+
+    // Meter the camera against the first video frame (channel::auto_expose)
+    // before the run, as a phone camera locked once at session start would.
+    bool auto_exposure = true;
+
+    // Decoder overrides applied on top of make_decoder_params.
+    Detector detector = Detector::noise_level;
+    bool texture_compensation = true;
+    bool auto_threshold = true;
+    double fixed_threshold = 2.0;
+    double hysteresis = 0.2;
+    std::optional<img::Homography> decoder_capture_to_screen;
+
+    double duration_s = 4.0;
+    std::uint64_t data_seed = util::Prng::default_seed;
+};
+
+struct Link_experiment_result {
+    double duration_s = 0.0;
+    int data_frames = 0;
+    int captures = 0;
+
+    // Fig. 7 metrics.
+    double available_gob_ratio = 0.0; // mean over data frames
+    double gob_error_rate = 0.0;      // erroneous / available
+    double goodput_kbps = 0.0;        // trusted payload bits per second
+    double raw_rate_kbps = 0.0;       // capacity before losses
+
+    // Ground-truth quality (the simulator knows the transmitted bits).
+    double block_error_rate = 0.0;    // wrong decisions / confident decisions
+    double unknown_block_ratio = 0.0; // unknown / all blocks
+    double trusted_bit_error_rate = 0.0; // errors inside parity-OK GOBs
+};
+
+Link_experiment_result run_link_experiment(const Link_experiment_config& config);
+
+struct Flicker_experiment_config {
+    std::shared_ptr<const video::Video_source> video;
+    Inframe_config inframe;
+    hvs::Vision_model_params vision;
+    hvs::Flicker_options options;
+    int observers = 8;
+    std::uint64_t observer_seed = 42;
+    double duration_s = 2.0;
+    std::uint64_t data_seed = util::Prng::default_seed;
+
+    // Optional replacement for the InFrame encoder: maps (video frame,
+    // display index) to the displayed frame. Used by the Fig. 3 naive
+    // designs bench. When empty, the InFrame encoder is used.
+    std::function<img::Imagef(const img::Imagef&, std::int64_t)> frame_producer;
+};
+
+hvs::Panel_result run_flicker_experiment(const Flicker_experiment_config& config);
+
+} // namespace inframe::core

@@ -1,0 +1,132 @@
+#include "core/sync.hpp"
+
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace inframe::core {
+
+Phase_estimator::Phase_estimator(Decoder_params decoder_params, Sync_params sync_params)
+    : decoder_params_(std::move(decoder_params)), sync_params_(sync_params),
+      metric_probe_(decoder_params_),
+      frame_period_(decoder_params_.tau / decoder_params_.display_fps)
+{
+    util::expects(sync_params.candidates >= 8, "sync: need at least 8 candidate offsets");
+    util::expects(sync_params.min_captures >= 8, "sync: need at least 8 captures");
+    util::expects(sync_params.min_lock_score >= 0.0, "sync: lock score must be non-negative");
+}
+
+void Phase_estimator::push_capture(const img::Imagef& capture, double receiver_time)
+{
+    util::expects(receiver_time >= 0.0, "sync: receiver time must be non-negative");
+    observations_.push_back({receiver_time, metric_probe_.block_metrics(capture)});
+    cached_offset_.reset();
+}
+
+double Phase_estimator::score_candidate(double offset) const
+{
+    // Group stable-window captures into data frames under this offset.
+    std::map<std::int64_t, std::vector<const Observation*>> frames;
+    for (const auto& observation : observations_) {
+        const double shifted = observation.time - offset;
+        if (shifted < 0.0) continue;
+        const auto frame = static_cast<std::int64_t>(std::floor(shifted / frame_period_));
+        const double phase = shifted / frame_period_ - static_cast<double>(frame);
+        if (phase < decoder_params_.stable_fraction - 1e-9) {
+            frames[frame].push_back(&observation);
+        }
+    }
+
+    util::Running_stats dprimes;
+    double disagreement = 0.0;
+    std::size_t pairs = 0;
+    const std::size_t block_count = observations_.front().metrics.size();
+    for (const auto& [frame, members] : frames) {
+        std::vector<double> averaged(block_count, 0.0);
+        for (const auto* member : members) {
+            for (std::size_t i = 0; i < block_count; ++i) averaged[i] += member->metrics[i];
+        }
+        for (auto& v : averaged) v /= static_cast<double>(members.size());
+        const auto split = metric_probe_.split_metrics(averaged);
+        dprimes.add(split.bimodal ? split.dprime : 0.0);
+
+        // Pattern agreement between the captures grouped into this frame:
+        // captures from different true frames disagree on ~half the bits.
+        for (std::size_t a = 1; a < members.size(); ++a) {
+            double distance = 0.0;
+            for (std::size_t i = 0; i < block_count; ++i) {
+                const bool bit_prev = members[a - 1]->metrics[i] > split.value;
+                const bool bit_this = members[a]->metrics[i] > split.value;
+                distance += bit_prev != bit_this;
+            }
+            disagreement += distance / static_cast<double>(block_count);
+            ++pairs;
+        }
+    }
+    if (dprimes.count() < 3) return -1e9;
+    const double mean_disagreement = pairs > 0 ? disagreement / static_cast<double>(pairs) : 0.0;
+    return dprimes.mean() - sync_params_.disagreement_weight * mean_disagreement;
+}
+
+std::optional<double> Phase_estimator::estimated_offset() const
+{
+    if (cached_offset_) return cached_offset_;
+    if (static_cast<int>(observations_.size()) < sync_params_.min_captures) {
+        return std::nullopt;
+    }
+
+    double best_score = -1e9;
+    double best_offset = 0.0;
+    for (int c = 0; c < sync_params_.candidates; ++c) {
+        const double offset =
+            frame_period_ * static_cast<double>(c) / sync_params_.candidates;
+        const double score = score_candidate(offset);
+        if (score > best_score) {
+            best_score = score;
+            best_offset = offset;
+        }
+    }
+
+    lock_score_ = best_score;
+    if (best_score < sync_params_.min_lock_score) return std::nullopt;
+    cached_offset_ = best_offset;
+    return cached_offset_;
+}
+
+Synced_decoder::Synced_decoder(Decoder_params params, Sync_params sync_params)
+    : params_(std::move(params)), estimator_(params_, sync_params)
+{
+}
+
+std::vector<Data_frame_result> Synced_decoder::push_capture(const img::Imagef& capture,
+                                                            double receiver_time)
+{
+    std::vector<Data_frame_result> results;
+    if (!decoder_) {
+        estimator_.push_capture(capture, receiver_time);
+        backlog_.emplace_back(capture, receiver_time);
+        offset_ = estimator_.estimated_offset();
+        if (!offset_) return results;
+        decoder_.emplace(params_);
+        // Replay buffered captures with corrected timestamps. Captures
+        // earlier than the offset fall before the first complete frame
+        // and are dropped.
+        for (const auto& [buffered, time] : backlog_) {
+            const double corrected = time - *offset_;
+            if (corrected < 0.0) continue;
+            for (auto& r : decoder_->push_capture(buffered, corrected)) {
+                results.push_back(std::move(r));
+            }
+        }
+        backlog_.clear();
+        return results;
+    }
+    const double corrected = receiver_time - *offset_;
+    if (corrected < 0.0) return results;
+    return decoder_->push_capture(capture, corrected);
+}
+
+} // namespace inframe::core

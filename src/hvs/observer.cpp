@@ -1,0 +1,33 @@
+#include "hvs/observer.hpp"
+
+#include "util/contract.hpp"
+#include "util/prng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace inframe::hvs {
+
+std::vector<Observer> make_observer_panel(int n, std::uint64_t seed)
+{
+    util::expects(n >= 1, "observer panel needs at least one member");
+    util::Prng prng(seed);
+    std::vector<Observer> panel;
+    panel.reserve(static_cast<std::size_t>(n));
+    panel.push_back(Observer{}); // population reference
+    panel.back().label = "observer-0";
+    for (int i = 1; i < n; ++i) {
+        Observer o;
+        o.cff_ref_hz = std::clamp(prng.next_gaussian(45.0, 3.0), 38.0, 52.0);
+        // Log-normal threshold spread around the reference sensitivity.
+        o.amp_threshold = Observer{}.amp_threshold * std::exp(prng.next_gaussian(0.0, 0.18));
+        // Mirror the paper's two expert viewers: observers 1 and 2 are
+        // noticeably more sensitive than the rest of the panel.
+        if (i <= 2) o.amp_threshold *= 0.75;
+        o.label = "observer-" + std::to_string(i);
+        panel.push_back(o);
+    }
+    return panel;
+}
+
+} // namespace inframe::hvs

@@ -1,0 +1,135 @@
+#include "imgproc/filter.hpp"
+
+#include <cmath>
+
+namespace inframe::img {
+
+namespace {
+
+// Horizontal sliding-window box sum for one channel of one row.
+void box_blur_row(const float* src, float* dst, int width, int stride, int radius)
+{
+    const float norm = 1.0f / static_cast<float>(2 * radius + 1);
+    double window = 0.0;
+    for (int i = -radius; i <= radius; ++i) {
+        const int x = std::clamp(i, 0, width - 1);
+        window += src[static_cast<std::ptrdiff_t>(x) * stride];
+    }
+    for (int x = 0; x < width; ++x) {
+        dst[static_cast<std::ptrdiff_t>(x) * stride] = static_cast<float>(window) * norm;
+        const int leaving = std::clamp(x - radius, 0, width - 1);
+        const int entering = std::clamp(x + radius + 1, 0, width - 1);
+        window += src[static_cast<std::ptrdiff_t>(entering) * stride]
+                  - src[static_cast<std::ptrdiff_t>(leaving) * stride];
+    }
+}
+
+} // namespace
+
+Imagef box_blur(const Imagef& src, int radius_x, int radius_y)
+{
+    util::expects(radius_x >= 0 && radius_y >= 0, "box_blur radius must be non-negative");
+    if (radius_x == 0 && radius_y == 0) return src;
+
+    const int ch = src.channels();
+    Imagef horizontal = src;
+    if (radius_x > 0) {
+        for (int y = 0; y < src.height(); ++y) {
+            const float* in = src.row(y).data();
+            float* out = horizontal.row(y).data();
+            for (int c = 0; c < ch; ++c) box_blur_row(in + c, out + c, src.width(), ch, radius_x);
+        }
+    }
+    if (radius_y == 0) return horizontal;
+
+    Imagef out(src.width(), src.height(), ch);
+    const int column_stride = src.width() * ch;
+    for (int x = 0; x < src.width(); ++x) {
+        for (int c = 0; c < ch; ++c) {
+            const float* in = horizontal.values().data() + static_cast<std::ptrdiff_t>(x) * ch + c;
+            float* dst = out.values().data() + static_cast<std::ptrdiff_t>(x) * ch + c;
+            box_blur_row(in, dst, src.height(), column_stride, radius_y);
+        }
+    }
+    return out;
+}
+
+Imagef box_blur(const Imagef& src, int radius)
+{
+    return box_blur(src, radius, radius);
+}
+
+std::vector<float> gaussian_kernel(double sigma)
+{
+    util::expects(sigma > 0.0, "gaussian_kernel sigma must be positive");
+    const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+    std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+    double sum = 0.0;
+    for (int i = -radius; i <= radius; ++i) {
+        const double v = std::exp(-(static_cast<double>(i) * i) / (2.0 * sigma * sigma));
+        kernel[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+        sum += v;
+    }
+    for (auto& k : kernel) k = static_cast<float>(k / sum);
+    return kernel;
+}
+
+Imagef separable_convolve(const Imagef& src, std::span<const float> kernel)
+{
+    util::expects(kernel.size() % 2 == 1, "separable_convolve kernel size must be odd");
+    const int radius = static_cast<int>(kernel.size() / 2);
+    const int ch = src.channels();
+
+    Imagef horizontal(src.width(), src.height(), ch);
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            for (int c = 0; c < ch; ++c) {
+                double acc = 0.0;
+                for (int k = -radius; k <= radius; ++k) {
+                    acc += kernel[static_cast<std::size_t>(k + radius)]
+                           * src.at_clamped(x + k, y, c);
+                }
+                horizontal(x, y, c) = static_cast<float>(acc);
+            }
+        }
+    }
+
+    Imagef out(src.width(), src.height(), ch);
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            for (int c = 0; c < ch; ++c) {
+                double acc = 0.0;
+                for (int k = -radius; k <= radius; ++k) {
+                    acc += kernel[static_cast<std::size_t>(k + radius)]
+                           * horizontal.at_clamped(x, y + k, c);
+                }
+                out(x, y, c) = static_cast<float>(acc);
+            }
+        }
+    }
+    return out;
+}
+
+Imagef gaussian_blur(const Imagef& src, double sigma)
+{
+    if (sigma <= 0.0) return src;
+    return separable_convolve(src, gaussian_kernel(sigma));
+}
+
+Imagef laplacian_abs(const Imagef& src)
+{
+    Imagef out(src.width(), src.height(), src.channels());
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            for (int c = 0; c < src.channels(); ++c) {
+                const float v = 4.0f * src(x, y, c) - src.at_clamped(x - 1, y, c)
+                                - src.at_clamped(x + 1, y, c) - src.at_clamped(x, y - 1, c)
+                                - src.at_clamped(x, y + 1, c);
+                out(x, y, c) = std::fabs(v);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace inframe::img

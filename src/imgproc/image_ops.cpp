@@ -1,0 +1,143 @@
+#include "imgproc/image_ops.hpp"
+
+#include <cmath>
+
+namespace inframe::img {
+
+Image8 to_u8(const Imagef& src)
+{
+    Image8 out(src.width(), src.height(), src.channels());
+    const auto in = src.values();
+    auto dst = out.values();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        dst[i] = static_cast<std::uint8_t>(std::clamp(std::lround(in[i]), 0L, 255L));
+    }
+    return out;
+}
+
+Imagef to_float(const Image8& src)
+{
+    Imagef out(src.width(), src.height(), src.channels());
+    const auto in = src.values();
+    auto dst = out.values();
+    for (std::size_t i = 0; i < in.size(); ++i) dst[i] = static_cast<float>(in[i]);
+    return out;
+}
+
+Imagef to_gray(const Imagef& src)
+{
+    if (src.channels() == 1) return src;
+    Imagef out(src.width(), src.height(), 1);
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            out(x, y) = 0.299f * src(x, y, 0) + 0.587f * src(x, y, 1) + 0.114f * src(x, y, 2);
+        }
+    }
+    return out;
+}
+
+Imagef add(const Imagef& a, const Imagef& b)
+{
+    util::expects(a.same_shape(b), "add: shape mismatch");
+    Imagef out = a;
+    auto dst = out.values();
+    const auto rhs = b.values();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += rhs[i];
+    return out;
+}
+
+Imagef subtract(const Imagef& a, const Imagef& b)
+{
+    util::expects(a.same_shape(b), "subtract: shape mismatch");
+    Imagef out = a;
+    auto dst = out.values();
+    const auto rhs = b.values();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] -= rhs[i];
+    return out;
+}
+
+Imagef abs_diff(const Imagef& a, const Imagef& b)
+{
+    util::expects(a.same_shape(b), "abs_diff: shape mismatch");
+    Imagef out = a;
+    auto dst = out.values();
+    const auto rhs = b.values();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = std::fabs(dst[i] - rhs[i]);
+    return out;
+}
+
+Imagef affine(const Imagef& a, float scale, float offset)
+{
+    Imagef out = a;
+    out.transform([=](float v) { return v * scale + offset; });
+    return out;
+}
+
+void clamp(Imagef& image, float lo, float hi)
+{
+    util::expects(lo <= hi, "clamp: lo must not exceed hi");
+    image.transform([=](float v) { return std::clamp(v, lo, hi); });
+}
+
+void accumulate(Imagef& a, const Imagef& b, float weight)
+{
+    util::expects(a.same_shape(b), "accumulate: shape mismatch");
+    auto dst = a.values();
+    const auto rhs = b.values();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += rhs[i] * weight;
+}
+
+double mean(const Imagef& image)
+{
+    util::expects(!image.empty(), "mean of empty image");
+    double sum = 0.0;
+    for (const float v : image.values()) sum += v;
+    return sum / static_cast<double>(image.value_count());
+}
+
+double mean_region(const Imagef& image, int x0, int y0, int w, int h, int c)
+{
+    util::expects(w > 0 && h > 0, "mean_region: empty region");
+    util::expects(x0 >= 0 && y0 >= 0 && x0 + w <= image.width() && y0 + h <= image.height(),
+                  "mean_region: region out of bounds");
+    double sum = 0.0;
+    for (int y = y0; y < y0 + h; ++y) {
+        for (int x = x0; x < x0 + w; ++x) sum += image(x, y, c);
+    }
+    return sum / (static_cast<double>(w) * static_cast<double>(h));
+}
+
+double mean_abs_region(const Imagef& image, int x0, int y0, int w, int h, int c)
+{
+    util::expects(w > 0 && h > 0, "mean_abs_region: empty region");
+    util::expects(x0 >= 0 && y0 >= 0 && x0 + w <= image.width() && y0 + h <= image.height(),
+                  "mean_abs_region: region out of bounds");
+    double sum = 0.0;
+    for (int y = y0; y < y0 + h; ++y) {
+        for (int x = x0; x < x0 + w; ++x) sum += std::fabs(image(x, y, c));
+    }
+    return sum / (static_cast<double>(w) * static_cast<double>(h));
+}
+
+std::pair<float, float> min_max(const Imagef& image)
+{
+    util::expects(!image.empty(), "min_max of empty image");
+    float lo = image.values()[0];
+    float hi = lo;
+    for (const float v : image.values()) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    return {lo, hi};
+}
+
+Imagef normalize_to_8bit(const Imagef& image, float in_lo, float in_hi)
+{
+    util::expects(in_hi > in_lo, "normalize_to_8bit: degenerate input range");
+    const float scale = 255.0f / (in_hi - in_lo);
+    Imagef out = affine(image, scale, -in_lo * scale);
+    clamp(out, 0.0f, 255.0f);
+    return out;
+}
+
+} // namespace inframe::img

@@ -1,0 +1,87 @@
+#include "util/bitstream.hpp"
+
+#include "util/contract.hpp"
+
+namespace inframe::util {
+
+void Bit_writer::put_bit(int bit)
+{
+    const std::size_t byte_index = bit_count_ / 8;
+    const int bit_index = static_cast<int>(bit_count_ % 8);
+    if (byte_index >= bytes_.size()) bytes_.push_back(0);
+    if (bit != 0) bytes_[byte_index] |= static_cast<std::uint8_t>(0x80u >> bit_index);
+    ++bit_count_;
+}
+
+void Bit_writer::put_bits(std::uint64_t value, int count)
+{
+    expects(count >= 0 && count <= 64, "Bit_writer::put_bits count out of range");
+    for (int i = count - 1; i >= 0; --i) put_bit(static_cast<int>((value >> i) & 1u));
+}
+
+void Bit_writer::put_byte(std::uint8_t byte)
+{
+    put_bits(byte, 8);
+}
+
+void Bit_writer::put_bytes(std::span<const std::uint8_t> bytes)
+{
+    for (const auto byte : bytes) put_byte(byte);
+}
+
+std::vector<std::uint8_t> Bit_writer::to_bit_vector() const
+{
+    return unpack_bits(bytes_, bit_count_);
+}
+
+Bit_reader::Bit_reader(std::span<const std::uint8_t> bytes, std::size_t bit_count)
+    : bytes_(bytes), bit_count_(bit_count)
+{
+    expects(bit_count <= bytes.size() * 8, "Bit_reader bit_count exceeds buffer");
+}
+
+Bit_reader::Bit_reader(std::span<const std::uint8_t> bytes)
+    : Bit_reader(bytes, bytes.size() * 8)
+{
+}
+
+int Bit_reader::get_bit()
+{
+    expects(position_ < bit_count_, "Bit_reader read past end");
+    const std::size_t byte_index = position_ / 8;
+    const int bit_index = static_cast<int>(position_ % 8);
+    ++position_;
+    return (bytes_[byte_index] >> (7 - bit_index)) & 1;
+}
+
+std::uint64_t Bit_reader::get_bits(int count)
+{
+    expects(count >= 0 && count <= 64, "Bit_reader::get_bits count out of range");
+    std::uint64_t value = 0;
+    for (int i = 0; i < count; ++i) value = (value << 1) | static_cast<std::uint64_t>(get_bit());
+    return value;
+}
+
+std::uint8_t Bit_reader::get_byte()
+{
+    return static_cast<std::uint8_t>(get_bits(8));
+}
+
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits)
+{
+    Bit_writer writer;
+    for (const auto bit : bits) writer.put_bit(bit);
+    return writer.bytes();
+}
+
+std::vector<std::uint8_t> unpack_bits(std::span<const std::uint8_t> bytes, std::size_t bit_count)
+{
+    expects(bit_count <= bytes.size() * 8, "unpack_bits bit_count exceeds buffer");
+    std::vector<std::uint8_t> bits(bit_count);
+    for (std::size_t i = 0; i < bit_count; ++i) {
+        bits[i] = (bytes[i / 8] >> (7 - i % 8)) & 1;
+    }
+    return bits;
+}
+
+} // namespace inframe::util

@@ -1,0 +1,69 @@
+// Bit-granular serialization used by the coding layer: payload bytes are
+// flattened to bits for block mapping, and decoded bits are reassembled
+// into bytes. Bits are packed MSB-first within each byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inframe::util {
+
+class Bit_writer {
+public:
+    // Appends a single bit (0 or 1; any nonzero value counts as 1).
+    void put_bit(int bit);
+
+    // Appends the `count` least-significant bits of `value`, MSB first.
+    // count must be in [0, 64].
+    void put_bits(std::uint64_t value, int count);
+
+    // Appends a whole byte (8 bits).
+    void put_byte(std::uint8_t byte);
+
+    // Appends a byte buffer.
+    void put_bytes(std::span<const std::uint8_t> bytes);
+
+    // Number of bits written so far.
+    std::size_t bit_count() const { return bit_count_; }
+
+    // Finished buffer; trailing bits of the last byte are zero-padded.
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+    // The written bits as individual 0/1 values.
+    std::vector<std::uint8_t> to_bit_vector() const;
+
+private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t bit_count_ = 0;
+};
+
+class Bit_reader {
+public:
+    explicit Bit_reader(std::span<const std::uint8_t> bytes, std::size_t bit_count);
+    explicit Bit_reader(std::span<const std::uint8_t> bytes);
+
+    // Reads one bit; throws Contract_violation past the end.
+    int get_bit();
+
+    // Reads `count` bits (MSB first) into the low bits of the result.
+    std::uint64_t get_bits(int count);
+
+    std::uint8_t get_byte();
+
+    std::size_t bits_remaining() const { return bit_count_ - position_; }
+    bool at_end() const { return position_ >= bit_count_; }
+
+private:
+    std::span<const std::uint8_t> bytes_;
+    std::size_t bit_count_;
+    std::size_t position_ = 0;
+};
+
+// Packs a vector of 0/1 values into bytes (MSB-first).
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits);
+
+// Unpacks bytes into `bit_count` 0/1 values (MSB-first).
+std::vector<std::uint8_t> unpack_bits(std::span<const std::uint8_t> bytes, std::size_t bit_count);
+
+} // namespace inframe::util

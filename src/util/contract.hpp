@@ -1,0 +1,28 @@
+// Lightweight contract checking in the spirit of the Core Guidelines
+// Expects()/Ensures(). Violations throw so that tests can assert on them
+// and callers can recover at a subsystem boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace inframe::util {
+
+class Contract_violation : public std::logic_error {
+public:
+    explicit Contract_violation(const std::string& what) : std::logic_error(what) {}
+};
+
+// Precondition check: call at function entry to validate arguments/state.
+inline void expects(bool condition, const char* message)
+{
+    if (!condition) throw Contract_violation(std::string("precondition violated: ") + message);
+}
+
+// Postcondition check: call before returning to validate produced state.
+inline void ensures(bool condition, const char* message)
+{
+    if (!condition) throw Contract_violation(std::string("postcondition violated: ") + message);
+}
+
+} // namespace inframe::util

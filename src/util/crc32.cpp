@@ -1,0 +1,53 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace inframe::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) ? 0xedb8'8320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto crc_table = make_table();
+
+} // namespace
+
+void Crc32::update(std::uint8_t byte)
+{
+    state_ = crc_table[(state_ ^ byte) & 0xffu] ^ (state_ >> 8);
+}
+
+void Crc32::update(std::span<const std::uint8_t> data)
+{
+    for (const auto byte : data) update(byte);
+}
+
+std::uint32_t Crc32::value() const
+{
+    return state_ ^ 0xffff'ffffu;
+}
+
+void Crc32::reset()
+{
+    state_ = 0xffff'ffffu;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data)
+{
+    Crc32 crc;
+    crc.update(data);
+    return crc.value();
+}
+
+} // namespace inframe::util

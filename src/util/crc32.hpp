@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used by the payload framing
+// layer to detect residual errors that slip past GOB parity / RS decoding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace inframe::util {
+
+// One-shot CRC-32 of a buffer.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// Incremental interface for streaming payloads.
+class Crc32 {
+public:
+    void update(std::span<const std::uint8_t> data);
+    void update(std::uint8_t byte);
+    std::uint32_t value() const;
+    void reset();
+
+private:
+    std::uint32_t state_ = 0xffff'ffffu;
+};
+
+} // namespace inframe::util

@@ -1,0 +1,105 @@
+#include "util/csv.hpp"
+
+#include "util/contract.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace inframe::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns))
+{
+    expects(!columns_.empty(), "Table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<Cell> cells)
+{
+    expects(cells.size() == columns_.size(), "Table row arity mismatch");
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string Table::to_string(const Cell& cell)
+{
+    if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+    if (const auto* d = std::get_if<double>(&cell)) return format_fixed(*d, 3);
+    return std::to_string(std::get<long long>(cell));
+}
+
+void Table::print(std::ostream& out) const
+{
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+    std::vector<std::vector<std::string>> rendered;
+    rendered.reserve(rows_.size());
+    for (const auto& row : rows_) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            cells.push_back(to_string(row[c]));
+            widths[c] = std::max(widths[c], cells.back().size());
+        }
+        rendered.push_back(std::move(cells));
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+        }
+        out << "\n";
+    };
+    print_row(columns_);
+    std::size_t total = 0;
+    for (const auto w : widths) total += w + 2;
+    out << std::string(total, '-') << "\n";
+    for (const auto& cells : rendered) print_row(cells);
+}
+
+namespace {
+
+std::string escape_csv(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (const char ch : s) {
+        if (ch == '"') quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+void Table::write_csv(std::ostream& out) const
+{
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        if (c) out << ",";
+        out << escape_csv(columns_[c]);
+    }
+    out << "\n";
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) out << ",";
+            out << escape_csv(to_string(row[c]));
+        }
+        out << "\n";
+    }
+}
+
+void Table::write_csv_file(const std::string& path) const
+{
+    std::ofstream file(path);
+    expects(file.good(), "Table::write_csv_file could not open output file");
+    write_csv(file);
+}
+
+std::string format_fixed(double value, int decimals)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(decimals) << value;
+    return out.str();
+}
+
+} // namespace inframe::util

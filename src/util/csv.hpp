@@ -1,0 +1,40 @@
+// Minimal CSV/table emitter so bench binaries can both pretty-print the
+// paper's figures to stdout and dump machine-readable series for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace inframe::util {
+
+class Table {
+public:
+    using Cell = std::variant<std::string, double, long long>;
+
+    explicit Table(std::vector<std::string> columns);
+
+    Table& add_row(std::vector<Cell> cells);
+
+    std::size_t row_count() const { return rows_.size(); }
+    const std::vector<std::string>& columns() const { return columns_; }
+
+    // Renders an aligned, human-readable table.
+    void print(std::ostream& out) const;
+
+    // Renders RFC-4180-ish CSV (quotes cells containing separators).
+    void write_csv(std::ostream& out) const;
+    void write_csv_file(const std::string& path) const;
+
+private:
+    static std::string to_string(const Cell& cell);
+
+    std::vector<std::string> columns_;
+    std::vector<std::vector<Cell>> rows_;
+};
+
+// Formats a double with fixed precision (helper for bench output).
+std::string format_fixed(double value, int decimals);
+
+} // namespace inframe::util

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// The paper drives its experiments from "a pseudo-random data generator with
+// a pre-set seed" (§4). Every stochastic component in this reproduction
+// (payload bits, sensor noise, observer panels) draws from an explicitly
+// seeded Prng so that runs are reproducible bit-for-bit.
+//
+// The generator is xoshiro256** (public domain, Blackman & Vigna), seeded
+// through splitmix64 so that small consecutive seeds yield uncorrelated
+// streams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inframe::util {
+
+class Prng {
+public:
+    // Seeds the generator; equal seeds give equal streams.
+    explicit Prng(std::uint64_t seed = default_seed);
+
+    // Default seed used throughout the experiments ("pre-set seed", §4).
+    static constexpr std::uint64_t default_seed = 0x1f2a'3e5c'7b9d'0846ULL;
+
+    // Raw 64 random bits.
+    std::uint64_t next_u64();
+
+    // Uniform in [0, bound). bound must be > 0.
+    std::uint64_t next_below(std::uint64_t bound);
+
+    // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+    // Uniform double in [0, 1).
+    double next_double();
+
+    // Uniform double in [lo, hi).
+    double next_double(double lo, double hi);
+
+    // Standard normal via Box-Muller (cached second deviate).
+    double next_gaussian();
+
+    // Normal with given mean and standard deviation.
+    double next_gaussian(double mean, double stddev);
+
+    // True with probability p (clamped to [0,1]).
+    bool next_bernoulli(double p);
+
+    // Fills a byte buffer with random data.
+    void fill_bytes(std::span<std::uint8_t> out);
+
+    // Convenience: n random bits as a vector<uint8_t> of 0/1 values.
+    std::vector<std::uint8_t> next_bits(std::size_t n);
+
+    // Derives an independent child generator (for per-component streams).
+    Prng split();
+
+private:
+    std::uint64_t state_[4];
+    double cached_gaussian_ = 0.0;
+    bool has_cached_gaussian_ = false;
+};
+
+} // namespace inframe::util

@@ -1,0 +1,142 @@
+#include "util/stats.hpp"
+
+#include "util/contract.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace inframe::util {
+
+void Running_stats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void Running_stats::add(std::span<const double> xs)
+{
+    for (const double x : xs) add(x);
+}
+
+double Running_stats::mean() const
+{
+    return count_ > 0 ? mean_ : 0.0;
+}
+
+double Running_stats::variance() const
+{
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Running_stats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double Running_stats::min() const
+{
+    return count_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Running_stats::max() const
+{
+    return count_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Running_stats::ci95_halfwidth() const
+{
+    if (count_ < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void Running_stats::reset()
+{
+    *this = Running_stats{};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    expects(hi > lo, "Histogram range must be non-empty");
+    expects(bins > 0, "Histogram needs at least one bin");
+}
+
+void Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const auto bin = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+double Histogram::bin_center(std::size_t i) const
+{
+    expects(i < counts_.size(), "Histogram bin index out of range");
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+double Histogram::quantile(double q) const
+{
+    expects(q >= 0.0 && q <= 1.0, "Histogram quantile must be in [0,1]");
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double cumulative = static_cast<double>(underflow_);
+    if (cumulative >= target) return lo_;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cumulative + static_cast<double>(counts_[i]);
+        if (next >= target && counts_[i] > 0) {
+            const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+            return lo_ + (static_cast<double>(i) + frac) * width;
+        }
+        cumulative = next;
+    }
+    return hi_;
+}
+
+std::string Histogram::to_string(int width) const
+{
+    std::ostringstream out;
+    std::size_t peak = 1;
+    for (const auto c : counts_) peak = std::max(peak, c);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = static_cast<int>(static_cast<double>(counts_[i]) / static_cast<double>(peak) * width);
+        out << bin_center(i) << "\t" << counts_[i] << "\t" << std::string(static_cast<std::size_t>(bar), '#')
+            << "\n";
+    }
+    return out.str();
+}
+
+double median(std::vector<double> values)
+{
+    expects(!values.empty(), "median of empty set");
+    const auto mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid), values.end());
+    double hi = values[mid];
+    if (values.size() % 2 == 1) return hi;
+    const auto lo_it = std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+    return (*lo_it + hi) / 2.0;
+}
+
+} // namespace inframe::util

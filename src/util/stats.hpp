@@ -1,0 +1,67 @@
+// Streaming statistics used by the evaluation harness: Fig. 6 reports mean
+// and standard deviation over an observer panel; Fig. 7 reports ratios with
+// run-to-run spread. Welford's algorithm keeps the accumulators stable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace inframe::util {
+
+class Running_stats {
+public:
+    void add(double x);
+    void add(std::span<const double> xs);
+
+    std::size_t count() const { return count_; }
+    double mean() const;
+    // Sample variance (n-1 denominator); 0 for fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+    // Half-width of the normal-approximation 95% confidence interval.
+    double ci95_halfwidth() const;
+
+    void reset();
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+// Fixed-range histogram for distribution summaries (noise levels, scores).
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    std::size_t total() const { return total_; }
+    std::size_t bin_count() const { return counts_.size(); }
+    std::size_t count_in_bin(std::size_t i) const { return counts_.at(i); }
+    double bin_center(std::size_t i) const;
+    // Value below which `q` (0..1) of the mass lies, linearly interpolated.
+    double quantile(double q) const;
+    std::string to_string(int width = 40) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+// Median of a copy of the data (handy for robust thresholds).
+double median(std::vector<double> values);
+
+} // namespace inframe::util

@@ -1,0 +1,111 @@
+#include "baseline/naive.hpp"
+
+#include "core/link_runner.hpp"
+#include "imgproc/metrics.hpp"
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe;
+using namespace inframe::baseline;
+using inframe::img::Imagef;
+
+coding::Code_geometry geometry()
+{
+    return coding::paper_geometry(480, 270);
+}
+
+TEST(Naive, NormalSchemeIsPassThrough)
+{
+    Naive_multiplexer mux(Naive_scheme::normal, geometry(), 40.0f);
+    const Imagef video(480, 270, 1, 127.0f);
+    for (int j = 0; j < 8; ++j) {
+        EXPECT_LT(img::mae(mux.frame(video, j), video), 1e-4);
+    }
+}
+
+TEST(Naive, DataSlotPatternPerScheme)
+{
+    const Imagef video(480, 270, 1, 127.0f);
+    auto altered = [&](Naive_scheme scheme, int slot) {
+        Naive_multiplexer mux(scheme, geometry(), 40.0f);
+        return img::mae(mux.frame(video, slot), video) > 1.0;
+    };
+    // (c) V D D D: slots 1..3 are data.
+    EXPECT_FALSE(altered(Naive_scheme::v_ddd, 0));
+    EXPECT_TRUE(altered(Naive_scheme::v_ddd, 1));
+    EXPECT_TRUE(altered(Naive_scheme::v_ddd, 3));
+    // (d) V D V D.
+    EXPECT_FALSE(altered(Naive_scheme::alternate_vd, 0));
+    EXPECT_TRUE(altered(Naive_scheme::alternate_vd, 1));
+    EXPECT_FALSE(altered(Naive_scheme::alternate_vd, 2));
+    // 2:2.
+    EXPECT_FALSE(altered(Naive_scheme::vvdd, 1));
+    EXPECT_TRUE(altered(Naive_scheme::vvdd, 2));
+    // 3:1.
+    EXPECT_FALSE(altered(Naive_scheme::vvvd, 2));
+    EXPECT_TRUE(altered(Naive_scheme::vvvd, 3));
+}
+
+TEST(Naive, DataFramesAreDistinctPerSlot)
+{
+    Naive_multiplexer mux(Naive_scheme::v_ddd, geometry(), 40.0f);
+    const Imagef video(480, 270, 1, 127.0f);
+    const Imagef d1 = mux.frame(video, 1);
+    const Imagef d2 = mux.frame(video, 2);
+    EXPECT_GT(img::mae(d1, d2), 10.0);
+}
+
+TEST(Naive, FramesAreDeterministic)
+{
+    Naive_multiplexer a(Naive_scheme::v_ddd, geometry(), 40.0f, 7);
+    Naive_multiplexer b(Naive_scheme::v_ddd, geometry(), 40.0f, 7);
+    const Imagef video(480, 270, 1, 127.0f);
+    EXPECT_DOUBLE_EQ(img::mae(a.frame(video, 1), b.frame(video, 1)), 0.0);
+}
+
+TEST(Naive, AmplitudeValidation)
+{
+    EXPECT_THROW(Naive_multiplexer(Naive_scheme::v_ddd, geometry(), 0.0f),
+                 inframe::util::Contract_violation);
+}
+
+TEST(Naive, NaiveSchemesFlickerWhereInframeDoesNot)
+{
+    // The Fig. 3 result at test scale: every naive insertion scheme scores
+    // clearly worse than both plain playback and InFrame.
+    core::Flicker_experiment_config config;
+    config.video = video::make_dark_gray_video(480, 270);
+    config.inframe = core::paper_config(480, 270);
+    config.duration_s = 1.0;
+    config.observers = 3;
+    config.options.max_sites = 256;
+
+    const auto inframe_score = core::run_flicker_experiment(config).mean_score;
+
+    Naive_multiplexer naive(Naive_scheme::v_ddd, geometry(), 40.0f);
+    config.frame_producer = naive.producer();
+    const auto naive_score = core::run_flicker_experiment(config).mean_score;
+
+    Naive_multiplexer normal(Naive_scheme::normal, geometry(), 40.0f);
+    config.frame_producer = normal.producer();
+    const auto normal_score = core::run_flicker_experiment(config).mean_score;
+
+    EXPECT_LT(normal_score, 0.5);
+    EXPECT_LT(inframe_score, 1.5);
+    EXPECT_GT(naive_score, 2.5);
+    EXPECT_GT(naive_score, inframe_score + 1.0);
+}
+
+TEST(Naive, SchemeNames)
+{
+    EXPECT_STREQ(to_string(Naive_scheme::normal), "normal");
+    EXPECT_STREQ(to_string(Naive_scheme::v_ddd), "V:D=1:3");
+    EXPECT_STREQ(to_string(Naive_scheme::alternate_vd), "V:D=1:1");
+    EXPECT_STREQ(to_string(Naive_scheme::vvdd), "V:D=2:2");
+    EXPECT_STREQ(to_string(Naive_scheme::vvvd), "V:D=3:1");
+}
+
+} // namespace

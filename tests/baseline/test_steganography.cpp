@@ -1,0 +1,90 @@
+#include "baseline/steganography.hpp"
+
+#include "channel/link.hpp"
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe;
+using namespace inframe::baseline;
+using inframe::img::Imagef;
+using inframe::util::Prng;
+
+TEST(Lsb, RoundTripOnDigitalPath)
+{
+    Prng prng(1);
+    Imagef frame(64, 48, 1);
+    for (auto& v : frame.values()) v = static_cast<float>(prng.next_double(0, 255));
+    const auto bits = prng.next_bits(1000);
+    const auto stego = lsb_embed(frame, bits);
+    const auto extracted = lsb_extract(stego, bits.size());
+    EXPECT_EQ(extracted, bits);
+}
+
+TEST(Lsb, EmbeddingIsVisuallyNegligible)
+{
+    Prng prng(2);
+    Imagef frame(64, 48, 1);
+    for (auto& v : frame.values()) v = static_cast<float>(prng.next_double(1, 254));
+    const auto bits = prng.next_bits(frame.pixel_count());
+    const auto stego = lsb_embed(frame, bits);
+    const Imagef stego_f = img::to_float(stego);
+    // LSB changes a pixel by at most 1 level beyond rounding.
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < frame.values().size(); ++i) {
+        max_diff = std::max(
+            max_diff, std::abs(static_cast<double>(stego_f.values()[i])
+                               - std::round(frame.values()[i])));
+    }
+    EXPECT_LE(max_diff, 1.0);
+}
+
+TEST(Lsb, CapacityValidation)
+{
+    const Imagef frame(8, 8, 1, 100.0f);
+    const std::vector<std::uint8_t> too_many(65, 0);
+    EXPECT_THROW(lsb_embed(frame, too_many), inframe::util::Contract_violation);
+    const auto stego = lsb_embed(frame, std::vector<std::uint8_t>(64, 1));
+    EXPECT_THROW(lsb_extract(stego, 65), inframe::util::Contract_violation);
+}
+
+TEST(Lsb, CollapsesOverTheScreenCameraChannel)
+{
+    // The motivating negative result: even a mild camera path randomizes
+    // LSBs, so watermark-style embedding cannot serve a screen-camera
+    // link.
+    Prng prng(3);
+    Imagef frame(240, 135, 1);
+    for (auto& v : frame.values()) v = static_cast<float>(prng.next_double(40, 215));
+    const auto bits = prng.next_bits(frame.pixel_count() / 4);
+    const auto stego = lsb_embed(frame, bits);
+
+    channel::Display_params display;
+    channel::Camera_params camera;
+    camera.fps = 30.0;
+    camera.sensor_width = 240;
+    camera.sensor_height = 135;
+    camera.readout_s = 0.0;
+    camera.exposure_s = 1.0 / 120.0;
+    const std::vector<Imagef> frames(8, img::to_float(stego));
+    const auto captures = channel::run_link(display, camera, frames);
+    ASSERT_FALSE(captures.empty());
+    const auto received = lsb_extract(captures[0].image, bits.size());
+    const double ber = bit_error_rate(bits, received);
+    EXPECT_GT(ber, 0.35); // indistinguishable from coin flips
+}
+
+TEST(Lsb, BitErrorRateHelper)
+{
+    const std::vector<std::uint8_t> a = {0, 1, 1, 0};
+    const std::vector<std::uint8_t> b = {0, 1, 0, 1};
+    EXPECT_DOUBLE_EQ(bit_error_rate(a, b), 0.5);
+    EXPECT_THROW(bit_error_rate(a, std::vector<std::uint8_t>(3, 0)),
+                 inframe::util::Contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+#include "channel/link.hpp"
+
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace inframe::channel;
+using inframe::img::Imagef;
+
+constexpr int screen_w = 48;
+constexpr int screen_h = 27;
+
+Display_params ideal_display()
+{
+    Display_params d;
+    d.response_persistence = 0.0;
+    d.black_level = 0.0;
+    return d;
+}
+
+Camera_params ideal_camera()
+{
+    Camera_params c;
+    c.fps = 30.0; // locked to the display for deterministic timing tests
+    c.sensor_width = 24;
+    c.sensor_height = 12;
+    c.exposure_s = 1.0 / 120.0;
+    c.readout_s = 0.0;
+    c.optical_blur_sigma = 0.0;
+    c.offset_x_px = 0.0;
+    c.offset_y_px = 0.0;
+    c.shot_noise_scale = 0.0;
+    c.read_noise_sigma = 0.0;
+    c.quantize = false;
+    return c;
+}
+
+std::vector<Imagef> solid_frames(int count, float level)
+{
+    return std::vector<Imagef>(static_cast<std::size_t>(count),
+                               Imagef(screen_w, screen_h, 1, level));
+}
+
+TEST(Link, CaptureRateIsCameraFps)
+{
+    // 120 display frames = 1 second -> 30 captures (the 30th completes
+    // exactly at t = 29/30 + exposure < 1 s).
+    const auto captures = run_link(ideal_display(), ideal_camera(), solid_frames(120, 100.0f));
+    EXPECT_EQ(captures.size(), 30u);
+    for (std::size_t k = 0; k < captures.size(); ++k) {
+        EXPECT_EQ(captures[k].index, static_cast<std::int64_t>(k));
+        EXPECT_NEAR(captures[k].start_time, static_cast<double>(k) / 30.0, 1e-12);
+    }
+}
+
+TEST(Link, AlignedShortExposureSamplesOneDisplayFrame)
+{
+    // Phase-aligned 1/120 s exposure: capture k sees exactly display frame
+    // 4k. Mark each display frame with its index as a level.
+    std::vector<Imagef> frames;
+    for (int i = 0; i < 48; ++i) frames.emplace_back(screen_w, screen_h, 1, static_cast<float>(i));
+    const auto captures = run_link(ideal_display(), ideal_camera(), frames);
+    ASSERT_GE(captures.size(), 3u);
+    for (std::size_t k = 0; k < captures.size(); ++k) {
+        const double expected = static_cast<double>(4 * k);
+        EXPECT_NEAR(inframe::img::mean(captures[k].image), expected, 1e-3);
+    }
+}
+
+TEST(Link, TwoFrameExposureAveragesComplementaryPair)
+{
+    // Exposure spanning a +D/-D pair cancels the data: the integrated
+    // level is the plain video level. This is why InFrame needs a short
+    // exposure (3.2, rolling shutter discussion).
+    auto camera = ideal_camera();
+    camera.exposure_s = 2.0 / 120.0;
+    std::vector<Imagef> frames;
+    for (int i = 0; i < 24; ++i) {
+        const float level = 127.0f + (i % 2 == 0 ? 20.0f : -20.0f);
+        frames.emplace_back(screen_w, screen_h, 1, level);
+    }
+    const auto captures = run_link(ideal_display(), camera, frames);
+    ASSERT_GE(captures.size(), 2u);
+    for (const auto& capture : captures) {
+        EXPECT_NEAR(inframe::img::mean(capture.image), 127.0, 1e-3);
+    }
+}
+
+TEST(Link, ShortExposureKeepsComplementaryAmplitude)
+{
+    auto camera = ideal_camera();
+    std::vector<Imagef> frames;
+    for (int i = 0; i < 24; ++i) {
+        const float level = 127.0f + (i % 2 == 0 ? 20.0f : -20.0f);
+        frames.emplace_back(screen_w, screen_h, 1, level);
+    }
+    const auto captures = run_link(ideal_display(), camera, frames);
+    ASSERT_GE(captures.size(), 1u);
+    EXPECT_NEAR(inframe::img::mean(captures[0].image), 147.0, 1e-3);
+}
+
+TEST(Link, RollingShutterMixesFramesAcrossRows)
+{
+    // Display alternates black/white every refresh; readout skew of one
+    // refresh period makes top rows see a different frame mix than bottom
+    // rows -> strong vertical gradient/banding inside a single capture.
+    auto camera = ideal_camera();
+    camera.sensor_height = 24;
+    camera.readout_s = 1.0 / 120.0;
+    std::vector<Imagef> frames;
+    for (int i = 0; i < 24; ++i) {
+        frames.emplace_back(screen_w, screen_h, 1, i % 2 == 0 ? 0.0f : 200.0f);
+    }
+    const auto captures = run_link(ideal_display(), camera, frames);
+    ASSERT_GE(captures.size(), 1u);
+    const auto& image = captures[0].image;
+    const double top = inframe::img::mean_region(image, 0, 0, image.width(), 2);
+    const double bottom =
+        inframe::img::mean_region(image, 0, image.height() - 2, image.width(), 2);
+    EXPECT_GT(std::abs(top - bottom), 100.0);
+}
+
+TEST(Link, GlobalShutterHasNoBanding)
+{
+    auto camera = ideal_camera();
+    camera.sensor_height = 24;
+    camera.readout_s = 0.0;
+    std::vector<Imagef> frames;
+    for (int i = 0; i < 24; ++i) {
+        frames.emplace_back(screen_w, screen_h, 1, i % 2 == 0 ? 0.0f : 200.0f);
+    }
+    const auto captures = run_link(ideal_display(), camera, frames);
+    ASSERT_GE(captures.size(), 1u);
+    const auto& image = captures[0].image;
+    const double top = inframe::img::mean_region(image, 0, 0, image.width(), 2);
+    const double bottom =
+        inframe::img::mean_region(image, 0, image.height() - 2, image.width(), 2);
+    EXPECT_NEAR(top, bottom, 1e-3);
+}
+
+TEST(Link, PhaseOffsetShiftsCaptureTimes)
+{
+    auto camera = ideal_camera();
+    camera.phase_offset_s = 0.01;
+    const auto captures = run_link(ideal_display(), camera, solid_frames(120, 50.0f));
+    ASSERT_GE(captures.size(), 1u);
+    EXPECT_NEAR(captures[0].start_time, 0.01, 1e-12);
+}
+
+TEST(Link, MisalignedPhaseBlendsAdjacentFrames)
+{
+    // Exposure starting halfway into a display frame sees half of each
+    // neighbour.
+    auto camera = ideal_camera();
+    camera.phase_offset_s = 0.5 / 120.0;
+    std::vector<Imagef> frames;
+    for (int i = 0; i < 12; ++i) frames.emplace_back(screen_w, screen_h, 1, static_cast<float>(10 * i));
+    const auto captures = run_link(ideal_display(), camera, frames);
+    ASSERT_GE(captures.size(), 1u);
+    EXPECT_NEAR(inframe::img::mean(captures[0].image), 5.0, 1e-3);
+}
+
+TEST(Link, NoiseIsDeterministicPerSeed)
+{
+    auto camera = ideal_camera();
+    camera.read_noise_sigma = 2.0;
+    camera.seed = 555;
+    const auto a = run_link(ideal_display(), camera, solid_frames(24, 100.0f));
+    const auto b = run_link(ideal_display(), camera, solid_frames(24, 100.0f));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        const auto va = a[k].image.values();
+        const auto vb = b[k].image.values();
+        for (std::size_t i = 0; i < va.size(); ++i) EXPECT_EQ(va[i], vb[i]);
+    }
+}
+
+TEST(Link, StreamingMatchesBatch)
+{
+    auto camera = ideal_camera();
+    Screen_camera_link link(ideal_display(), camera, screen_w, screen_h);
+    std::vector<Capture> streamed;
+    const auto frames = solid_frames(60, 80.0f);
+    for (const auto& frame : frames) {
+        for (auto& c : link.push_display_frame(frame)) streamed.push_back(std::move(c));
+    }
+    const auto batch = run_link(ideal_display(), camera, frames);
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+        EXPECT_EQ(streamed[k].index, batch[k].index);
+        EXPECT_DOUBLE_EQ(inframe::img::mean(streamed[k].image),
+                         inframe::img::mean(batch[k].image));
+    }
+}
+
+TEST(Link, EmptySequenceRejected)
+{
+    EXPECT_THROW(run_link(ideal_display(), ideal_camera(), {}),
+                 inframe::util::Contract_violation);
+}
+
+} // namespace

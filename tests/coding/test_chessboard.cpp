@@ -1,0 +1,128 @@
+#include "coding/chessboard.hpp"
+
+#include "imgproc/filter.hpp"
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe::coding;
+using inframe::img::Imagef;
+using inframe::util::Contract_violation;
+
+Code_geometry small_geometry()
+{
+    // 4 x 2 blocks of 3x3 Pixels at p = 2 on a 28x16 screen (24x12 active).
+    Code_geometry g;
+    g.screen_width = 28;
+    g.screen_height = 16;
+    g.pixel_size = 2;
+    g.block_pixels = 3;
+    g.gob_size = 2;
+    g.blocks_x = 4;
+    g.blocks_y = 2;
+    g.validate();
+    return g;
+}
+
+TEST(Chessboard, ZeroBitsRenderNothing)
+{
+    const auto g = small_geometry();
+    const std::vector<std::uint8_t> bits(static_cast<std::size_t>(g.block_count()), 0);
+    const Imagef frame = render_data_frame(g, bits, 20.0f);
+    for (const float v : frame.values()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Chessboard, OneBitsRaiseOddPixelsOnly)
+{
+    const auto g = small_geometry();
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(g.block_count()), 0);
+    bits[0] = 1;
+    const Imagef frame = render_data_frame(g, bits, 20.0f);
+    const auto rect = g.block_rect(0, 0);
+    // Pixel (0,0) of the block: i+j even -> 0.
+    EXPECT_EQ(frame(rect.x0, rect.y0), 0.0f);
+    // Pixel (1,0): i+j odd -> delta, and the whole 2x2 Element area shares it.
+    EXPECT_EQ(frame(rect.x0 + 2, rect.y0), 20.0f);
+    EXPECT_EQ(frame(rect.x0 + 3, rect.y0 + 1), 20.0f);
+    // Pixel (1,1): even again.
+    EXPECT_EQ(frame(rect.x0 + 2, rect.y0 + 2), 0.0f);
+}
+
+TEST(Chessboard, PatternConfinedToItsBlock)
+{
+    const auto g = small_geometry();
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(g.block_count()), 0);
+    bits[static_cast<std::size_t>(g.block_index(1, 0))] = 1;
+    const Imagef frame = render_data_frame(g, bits, 20.0f);
+    const auto rect0 = g.block_rect(0, 0);
+    for (int y = rect0.y0; y < rect0.y0 + rect0.size; ++y) {
+        for (int x = rect0.x0; x < rect0.x0 + rect0.size; ++x) {
+            EXPECT_EQ(frame(x, y), 0.0f);
+        }
+    }
+}
+
+TEST(Chessboard, BlockMeanIsNearHalfDelta)
+{
+    const auto g = small_geometry();
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(g.block_count()), 1);
+    const Imagef frame = render_data_frame(g, bits, 20.0f);
+    const auto rect = g.block_rect(2, 1);
+    const double m = inframe::img::mean_region(frame, rect.x0, rect.y0, rect.size, rect.size);
+    // 3x3 Pixels: 4 of 9 odd -> mean = delta * 4/9.
+    EXPECT_NEAR(m, 20.0 * 4.0 / 9.0, 1e-4);
+    EXPECT_NEAR(chessboard_block_mean(20.0f), 10.0f, 1e-4f);
+}
+
+TEST(Chessboard, SmoothingRemovesThePattern)
+{
+    // The decoder's premise: box blur at the Pixel scale flattens the
+    // chessboard, leaving a large |original - smoothed| residual.
+    const auto g = small_geometry();
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(g.block_count()), 1);
+    const Imagef frame = render_data_frame(g, bits, 20.0f);
+    const Imagef smoothed = inframe::img::box_blur(frame, g.pixel_size);
+    const auto rect = g.block_rect(1, 1);
+    const Imagef diff = inframe::img::abs_diff(frame, smoothed);
+    const double residual =
+        inframe::img::mean_region(diff, rect.x0, rect.y0, rect.size, rect.size);
+    EXPECT_GT(residual, 5.0);
+}
+
+TEST(Chessboard, BitCountValidation)
+{
+    const auto g = small_geometry();
+    const std::vector<std::uint8_t> wrong(3, 0);
+    EXPECT_THROW(render_data_frame(g, wrong, 20.0f), Contract_violation);
+}
+
+TEST(Chessboard, AddBlockRequiresMatchingFrame)
+{
+    const auto g = small_geometry();
+    Imagef wrong(10, 10, 1, 0.0f);
+    EXPECT_THROW(add_chessboard_block(wrong, g, 0, 0, 20.0f), Contract_violation);
+}
+
+TEST(Chessboard, AccumulatesOnExistingContent)
+{
+    const auto g = small_geometry();
+    Imagef frame(g.screen_width, g.screen_height, 1, 100.0f);
+    add_chessboard_block(frame, g, 0, 0, 15.0f);
+    const auto rect = g.block_rect(0, 0);
+    EXPECT_EQ(frame(rect.x0, rect.y0), 100.0f);
+    EXPECT_EQ(frame(rect.x0 + 2, rect.y0), 115.0f);
+}
+
+TEST(Chessboard, NegativeDeltaSubtracts)
+{
+    const auto g = small_geometry();
+    Imagef frame(g.screen_width, g.screen_height, 1, 100.0f);
+    add_chessboard_block(frame, g, 0, 0, -15.0f);
+    EXPECT_EQ(frame(g.block_rect(0, 0).x0 + 2, g.block_rect(0, 0).y0), 85.0f);
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+#include "coding/geometry.hpp"
+
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe::coding;
+using inframe::util::Contract_violation;
+
+TEST(Geometry, PaperLayoutAt1080p)
+{
+    const auto g = paper_geometry(1920, 1080);
+    EXPECT_EQ(g.pixel_size, 4);
+    EXPECT_EQ(g.block_pixels, 9);
+    EXPECT_EQ(g.blocks_x, 50);
+    EXPECT_EQ(g.blocks_y, 30);
+    EXPECT_EQ(g.block_px(), 36);
+    EXPECT_EQ(g.gobs_x(), 25);
+    EXPECT_EQ(g.gobs_y(), 15);
+    EXPECT_EQ(g.gob_count(), 375);
+    // The paper's capacity: 1125 bits per data frame.
+    EXPECT_EQ(g.payload_bits_per_frame(), 1125);
+}
+
+TEST(Geometry, HalfResolutionScalesPixelSizeOnly)
+{
+    const auto g = paper_geometry(960, 540);
+    EXPECT_EQ(g.pixel_size, 2);
+    EXPECT_EQ(g.blocks_x, 50);
+    EXPECT_EQ(g.blocks_y, 30);
+    EXPECT_EQ(g.payload_bits_per_frame(), 1125);
+    EXPECT_EQ(g.active_height(), 540);
+}
+
+TEST(Geometry, QuarterResolution)
+{
+    const auto g = paper_geometry(480, 270);
+    EXPECT_EQ(g.pixel_size, 1);
+    EXPECT_EQ(g.payload_bits_per_frame(), 1125);
+}
+
+TEST(Geometry, TinyScreenShrinksGrid)
+{
+    const auto g = paper_geometry(180, 120);
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_LE(g.active_width(), 180);
+    EXPECT_LE(g.active_height(), 120);
+    EXPECT_EQ(g.blocks_x % g.gob_size, 0);
+    EXPECT_EQ(g.blocks_y % g.gob_size, 0);
+}
+
+TEST(Geometry, ActiveAreaIsCentered)
+{
+    const auto g = paper_geometry(1920, 1080);
+    EXPECT_EQ(g.origin_x(), (1920 - 1800) / 2);
+    EXPECT_EQ(g.origin_y(), 0);
+}
+
+TEST(Geometry, BlockRects)
+{
+    const auto g = paper_geometry(1920, 1080);
+    const auto first = g.block_rect(0, 0);
+    EXPECT_EQ(first.x0, 60);
+    EXPECT_EQ(first.y0, 0);
+    EXPECT_EQ(first.size, 36);
+    const auto last = g.block_rect(49, 29);
+    EXPECT_EQ(last.x0 + last.size, 60 + 1800);
+    EXPECT_EQ(last.y0 + last.size, 1080);
+    EXPECT_THROW(g.block_rect(50, 0), Contract_violation);
+    EXPECT_THROW(g.block_rect(0, -1), Contract_violation);
+}
+
+TEST(Geometry, BlockIndexIsRasterOrder)
+{
+    const auto g = paper_geometry(1920, 1080);
+    EXPECT_EQ(g.block_index(0, 0), 0);
+    EXPECT_EQ(g.block_index(1, 0), 1);
+    EXPECT_EQ(g.block_index(0, 1), 50);
+    EXPECT_EQ(g.block_index(49, 29), 1499);
+}
+
+TEST(Geometry, ValidationCatchesBadLayouts)
+{
+    Code_geometry g = paper_geometry(1920, 1080);
+    g.blocks_x = 51; // not divisible by gob_size
+    EXPECT_THROW(g.validate(), Contract_violation);
+
+    g = paper_geometry(1920, 1080);
+    g.blocks_y = 40; // 40 * 36 = 1440 > 1080
+    EXPECT_THROW(g.validate(), Contract_violation);
+
+    g = paper_geometry(1920, 1080);
+    g.block_pixels = 1; // no room for a chessboard
+    EXPECT_THROW(g.validate(), Contract_violation);
+
+    g = paper_geometry(1920, 1080);
+    g.gob_size = 1;
+    EXPECT_THROW(g.validate(), Contract_violation);
+}
+
+TEST(Geometry, PayloadBitsPerGob)
+{
+    Code_geometry g = paper_geometry(1920, 1080);
+    EXPECT_EQ(g.payload_bits_per_gob(), 3);
+    g.gob_size = 3;
+    g.blocks_x = 48;
+    g.blocks_y = 30;
+    g.validate();
+    EXPECT_EQ(g.payload_bits_per_gob(), 8);
+}
+
+} // namespace

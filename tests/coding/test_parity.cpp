@@ -1,0 +1,157 @@
+#include "coding/parity.hpp"
+
+#include "util/contract.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe::coding;
+using inframe::util::Contract_violation;
+using inframe::util::Prng;
+
+Code_geometry test_geometry()
+{
+    Code_geometry g;
+    g.screen_width = 200;
+    g.screen_height = 120;
+    g.pixel_size = 2;
+    g.block_pixels = 3;
+    g.gob_size = 2;
+    g.blocks_x = 8;
+    g.blocks_y = 4;
+    g.validate();
+    return g;
+}
+
+std::vector<Block_decision> to_decisions(std::span<const std::uint8_t> bits)
+{
+    std::vector<Block_decision> decisions;
+    decisions.reserve(bits.size());
+    for (const auto bit : bits) {
+        decisions.push_back(bit ? Block_decision::one : Block_decision::zero);
+    }
+    return decisions;
+}
+
+TEST(Parity, EncodeProducesOneBlockPerBit)
+{
+    const auto g = test_geometry();
+    Prng prng(1);
+    const auto payload = prng.next_bits(static_cast<std::size_t>(g.payload_bits_per_frame()));
+    const auto blocks = encode_gob_parity(g, payload);
+    EXPECT_EQ(blocks.size(), static_cast<std::size_t>(g.block_count()));
+}
+
+TEST(Parity, ParityBlockIsXorOfGob)
+{
+    const auto g = test_geometry();
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(g.payload_bits_per_frame()), 0);
+    payload[0] = 1;
+    payload[1] = 1;
+    payload[2] = 0;
+    const auto blocks = encode_gob_parity(g, payload);
+    // First GOB covers blocks (0,0), (1,0), (0,1), (1,1); last is parity.
+    EXPECT_EQ(blocks[static_cast<std::size_t>(g.block_index(0, 0))], 1);
+    EXPECT_EQ(blocks[static_cast<std::size_t>(g.block_index(1, 0))], 1);
+    EXPECT_EQ(blocks[static_cast<std::size_t>(g.block_index(0, 1))], 0);
+    EXPECT_EQ(blocks[static_cast<std::size_t>(g.block_index(1, 1))], 0); // 1^1^0
+}
+
+TEST(Parity, RoundTripRecoversPayload)
+{
+    const auto g = test_geometry();
+    Prng prng(2);
+    const auto payload = prng.next_bits(static_cast<std::size_t>(g.payload_bits_per_frame()));
+    const auto blocks = encode_gob_parity(g, payload);
+    const auto result = decode_gob_parity(g, to_decisions(blocks));
+    EXPECT_DOUBLE_EQ(result.available_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(result.error_rate, 0.0);
+    ASSERT_EQ(result.payload_bits.size(), payload.size());
+    EXPECT_EQ(result.payload_bits, payload);
+    EXPECT_EQ(result.good_payload_bits, payload.size());
+}
+
+TEST(Parity, SingleBlockFlipIsDetected)
+{
+    const auto g = test_geometry();
+    Prng prng(3);
+    const auto payload = prng.next_bits(static_cast<std::size_t>(g.payload_bits_per_frame()));
+    auto blocks = encode_gob_parity(g, payload);
+    blocks[5] ^= 1;
+    const auto result = decode_gob_parity(g, to_decisions(blocks));
+    EXPECT_DOUBLE_EQ(result.available_ratio, 1.0);
+    // Exactly one of the GOBs fails parity.
+    EXPECT_NEAR(result.error_rate, 1.0 / g.gob_count(), 1e-9);
+}
+
+TEST(Parity, DoubleFlipInOneGobEscapesParity)
+{
+    // XOR parity detects odd numbers of errors only — the known limitation
+    // the paper accepts for the strawman.
+    const auto g = test_geometry();
+    Prng prng(4);
+    const auto payload = prng.next_bits(static_cast<std::size_t>(g.payload_bits_per_frame()));
+    auto blocks = encode_gob_parity(g, payload);
+    blocks[static_cast<std::size_t>(g.block_index(0, 0))] ^= 1;
+    blocks[static_cast<std::size_t>(g.block_index(1, 0))] ^= 1;
+    const auto result = decode_gob_parity(g, to_decisions(blocks));
+    EXPECT_DOUBLE_EQ(result.error_rate, 0.0); // undetected
+    EXPECT_NE(result.payload_bits, payload);  // but wrong
+}
+
+TEST(Parity, UnknownBlockMakesGobUnavailable)
+{
+    const auto g = test_geometry();
+    Prng prng(5);
+    const auto payload = prng.next_bits(static_cast<std::size_t>(g.payload_bits_per_frame()));
+    const auto blocks = encode_gob_parity(g, payload);
+    auto decisions = to_decisions(blocks);
+    decisions[static_cast<std::size_t>(g.block_index(0, 0))] = Block_decision::unknown;
+    const auto result = decode_gob_parity(g, decisions);
+    EXPECT_NEAR(result.available_ratio, 1.0 - 1.0 / g.gob_count(), 1e-9);
+    EXPECT_FALSE(result.gobs[0].available);
+    // Unavailable GOB contributes fill bits.
+    EXPECT_EQ(result.good_payload_bits,
+              payload.size() - static_cast<std::size_t>(g.payload_bits_per_gob()));
+}
+
+TEST(Parity, FillBitAppliedToUntrustedGobs)
+{
+    const auto g = test_geometry();
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(g.payload_bits_per_frame()), 1);
+    const auto blocks = encode_gob_parity(g, payload);
+    auto decisions = to_decisions(blocks);
+    decisions[static_cast<std::size_t>(g.block_index(0, 0))] = Block_decision::unknown;
+    const auto result = decode_gob_parity(g, decisions, 0);
+    for (int b = 0; b < g.payload_bits_per_gob(); ++b) {
+        EXPECT_EQ(result.payload_bits[static_cast<std::size_t>(b)], 0);
+    }
+    EXPECT_EQ(result.payload_bits.back(), 1);
+}
+
+TEST(Parity, SizeValidation)
+{
+    const auto g = test_geometry();
+    const std::vector<std::uint8_t> short_payload(3, 0);
+    EXPECT_THROW(encode_gob_parity(g, short_payload), Contract_violation);
+    const std::vector<Block_decision> short_decisions(3, Block_decision::zero);
+    EXPECT_THROW(decode_gob_parity(g, short_decisions), Contract_violation);
+}
+
+TEST(Parity, LargerGobGeometry)
+{
+    Code_geometry g = test_geometry();
+    g.gob_size = 2;
+    g.blocks_x = 4;
+    g.blocks_y = 4;
+    g.validate();
+    Prng prng(6);
+    const auto payload = prng.next_bits(static_cast<std::size_t>(g.payload_bits_per_frame()));
+    const auto blocks = encode_gob_parity(g, payload);
+    const auto result = decode_gob_parity(g, to_decisions(blocks));
+    EXPECT_EQ(result.payload_bits, payload);
+}
+
+} // namespace

@@ -1,0 +1,301 @@
+#include "coding/reed_solomon.hpp"
+
+#include "util/contract.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace inframe::coding;
+using inframe::util::Contract_violation;
+using inframe::util::Prng;
+
+TEST(Gf256, FieldAxiomsSpotChecks)
+{
+    EXPECT_EQ(gf256::add(0x53, 0x53), 0);
+    EXPECT_EQ(gf256::mul(1, 0x7b), 0x7b);
+    EXPECT_EQ(gf256::mul(0, 0x7b), 0);
+    // Known product in the 0x11d field (QR standard): 0x53 * 0xca = 0x01.
+    EXPECT_EQ(gf256::mul(0x53, gf256::inverse(0x53)), 1);
+}
+
+TEST(Gf256, MulDivInverse)
+{
+    Prng prng(1);
+    for (int i = 0; i < 200; ++i) {
+        const auto a = static_cast<std::uint8_t>(prng.next_below(255) + 1);
+        const auto b = static_cast<std::uint8_t>(prng.next_below(255) + 1);
+        EXPECT_EQ(gf256::div(gf256::mul(a, b), b), a);
+    }
+    EXPECT_THROW(gf256::div(1, 0), Contract_violation);
+    EXPECT_THROW(gf256::inverse(0), Contract_violation);
+}
+
+TEST(Gf256, PowMatchesRepeatedMul)
+{
+    std::uint8_t acc = 1;
+    for (int e = 0; e < 10; ++e) {
+        EXPECT_EQ(gf256::pow(3, e), acc);
+        acc = gf256::mul(acc, 3);
+    }
+    EXPECT_EQ(gf256::pow(0, 0), 1);
+    EXPECT_EQ(gf256::pow(0, 5), 0);
+}
+
+TEST(ReedSolomon, ConstructionValidation)
+{
+    EXPECT_THROW(Reed_solomon(256, 10), Contract_violation);
+    EXPECT_THROW(Reed_solomon(10, 10), Contract_violation);
+    EXPECT_THROW(Reed_solomon(10, 0), Contract_violation);
+    const Reed_solomon rs(255, 223);
+    EXPECT_EQ(rs.parity_symbols(), 32);
+    EXPECT_EQ(rs.max_correctable(), 16);
+}
+
+TEST(ReedSolomon, EncodeIsSystematic)
+{
+    const Reed_solomon rs(15, 11);
+    Prng prng(2);
+    std::vector<std::uint8_t> data(11);
+    prng.fill_bytes(data);
+    const auto codeword = rs.encode(data);
+    ASSERT_EQ(codeword.size(), 15u);
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), codeword.begin()));
+}
+
+TEST(ReedSolomon, CleanCodewordDecodes)
+{
+    const Reed_solomon rs(31, 23);
+    Prng prng(3);
+    std::vector<std::uint8_t> data(23);
+    prng.fill_bytes(data);
+    const auto codeword = rs.encode(data);
+    const auto decoded = rs.decode(codeword);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->data, data);
+    EXPECT_EQ(decoded->corrected_errors, 0);
+}
+
+TEST(ReedSolomon, CorrectsUpToTErrors)
+{
+    const Reed_solomon rs(31, 23); // t = 4
+    Prng prng(4);
+    std::vector<std::uint8_t> data(23);
+    prng.fill_bytes(data);
+    const auto codeword = rs.encode(data);
+    for (int errors = 1; errors <= rs.max_correctable(); ++errors) {
+        auto corrupted = codeword;
+        for (int e = 0; e < errors; ++e) {
+            const auto pos = static_cast<std::size_t>(7 * e + 2); // distinct positions
+            corrupted[pos] ^= static_cast<std::uint8_t>(0x5a + e);
+        }
+        const auto decoded = rs.decode(corrupted);
+        ASSERT_TRUE(decoded.has_value()) << errors << " errors";
+        EXPECT_EQ(decoded->data, data) << errors << " errors";
+        EXPECT_EQ(decoded->corrected_errors, errors);
+    }
+}
+
+TEST(ReedSolomon, ErrorsInParityRegionAlsoCorrected)
+{
+    const Reed_solomon rs(31, 23);
+    Prng prng(5);
+    std::vector<std::uint8_t> data(23);
+    prng.fill_bytes(data);
+    auto corrupted = rs.encode(data);
+    corrupted[25] ^= 0xff; // parity symbol
+    corrupted[30] ^= 0x01;
+    const auto decoded = rs.decode(corrupted);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->data, data);
+}
+
+TEST(ReedSolomon, RejectsBeyondCapacity)
+{
+    const Reed_solomon rs(31, 27); // t = 2
+    Prng prng(6);
+    std::vector<std::uint8_t> data(27);
+    prng.fill_bytes(data);
+    auto corrupted = rs.encode(data);
+    int failures = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        auto word = corrupted;
+        // 5 random errors: far beyond t = 2.
+        for (int e = 0; e < 5; ++e) {
+            const auto pos = prng.next_below(word.size());
+            word[pos] ^= static_cast<std::uint8_t>(prng.next_below(255) + 1);
+        }
+        const auto decoded = rs.decode(word);
+        // Either refused, or (rare miscorrection) produced *something*; it
+        // must never claim success with the original data intact while
+        // reporting <= t corrections of a 5-error pattern.
+        if (!decoded.has_value() || decoded->data != data) ++failures;
+    }
+    EXPECT_GT(failures, 15);
+}
+
+TEST(ReedSolomon, RandomizedRoundTripSweep)
+{
+    Prng prng(7);
+    for (const auto& [n, k] : {std::pair{255, 223}, {63, 45}, {15, 9}}) {
+        const Reed_solomon rs(n, k);
+        std::vector<std::uint8_t> data(static_cast<std::size_t>(k));
+        prng.fill_bytes(data);
+        auto corrupted = rs.encode(data);
+        // Corrupt exactly t distinct random positions.
+        std::vector<std::size_t> positions;
+        while (static_cast<int>(positions.size()) < rs.max_correctable()) {
+            const auto pos = prng.next_below(corrupted.size());
+            if (std::find(positions.begin(), positions.end(), pos) == positions.end()) {
+                positions.push_back(pos);
+            }
+        }
+        for (const auto pos : positions) {
+            corrupted[pos] ^= static_cast<std::uint8_t>(prng.next_below(255) + 1);
+        }
+        const auto decoded = rs.decode(corrupted);
+        ASSERT_TRUE(decoded.has_value()) << "RS(" << n << "," << k << ")";
+        EXPECT_EQ(decoded->data, data) << "RS(" << n << "," << k << ")";
+    }
+}
+
+TEST(ReedSolomon, SizeValidationOnUse)
+{
+    const Reed_solomon rs(15, 11);
+    const std::vector<std::uint8_t> wrong(10, 0);
+    EXPECT_THROW(rs.encode(wrong), Contract_violation);
+    EXPECT_THROW(rs.decode(wrong), Contract_violation);
+}
+
+TEST(ReedSolomonErasures, CorrectsTwiceAsManyErasuresAsErrors)
+{
+    // RS(31, 23): t = 4 errors, but up to 8 declared erasures.
+    const Reed_solomon rs(31, 23);
+    Prng prng(11);
+    std::vector<std::uint8_t> data(23);
+    prng.fill_bytes(data);
+    const auto codeword = rs.encode(data);
+
+    auto corrupted = codeword;
+    std::vector<int> erasures;
+    for (int e = 0; e < rs.parity_symbols(); ++e) {
+        const int pos = 3 * e + 1;
+        corrupted[static_cast<std::size_t>(pos)] ^= static_cast<std::uint8_t>(0x11 + e);
+        erasures.push_back(pos);
+    }
+    // 8 errors is far beyond t = 4 without the erasure information...
+    EXPECT_FALSE(rs.decode(corrupted).has_value());
+    // ...but decodes exactly with it.
+    const auto decoded = rs.decode_with_erasures(corrupted, erasures);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->data, data);
+    EXPECT_EQ(decoded->corrected_erasures, rs.parity_symbols());
+    EXPECT_EQ(decoded->corrected_errors, 0);
+}
+
+TEST(ReedSolomonErasures, MixedErrorsAndErasures)
+{
+    // 2 errors + 4 erasures: 2*2 + 4 = 8 = n - k exactly.
+    const Reed_solomon rs(31, 23);
+    Prng prng(12);
+    std::vector<std::uint8_t> data(23);
+    prng.fill_bytes(data);
+    auto corrupted = rs.encode(data);
+    corrupted[2] ^= 0x40;  // undeclared error
+    corrupted[17] ^= 0x08; // undeclared error
+    const std::vector<int> erasures = {5, 9, 22, 28};
+    for (const int pos : erasures) corrupted[static_cast<std::size_t>(pos)] ^= 0xff;
+    const auto decoded = rs.decode_with_erasures(corrupted, erasures);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->data, data);
+    EXPECT_EQ(decoded->corrected_errors, 2);
+}
+
+TEST(ReedSolomonErasures, DeclaredButUncorruptedErasuresAreHarmless)
+{
+    const Reed_solomon rs(31, 23);
+    Prng prng(13);
+    std::vector<std::uint8_t> data(23);
+    prng.fill_bytes(data);
+    auto corrupted = rs.encode(data);
+    corrupted[4] ^= 0x01;
+    // Declare three positions as suspect even though only one is wrong.
+    const std::vector<int> erasures = {4, 10, 20};
+    const auto decoded = rs.decode_with_erasures(corrupted, erasures);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->data, data);
+}
+
+TEST(ReedSolomonErasures, TooManyErasuresRefused)
+{
+    const Reed_solomon rs(15, 9); // 6 parity symbols
+    Prng prng(14);
+    std::vector<std::uint8_t> data(9);
+    prng.fill_bytes(data);
+    auto corrupted = rs.encode(data);
+    std::vector<int> erasures;
+    for (int pos = 0; pos < 7; ++pos) {
+        corrupted[static_cast<std::size_t>(pos)] ^= 0x55;
+        erasures.push_back(pos);
+    }
+    EXPECT_FALSE(rs.decode_with_erasures(corrupted, erasures).has_value());
+}
+
+TEST(ReedSolomonErasures, PositionValidation)
+{
+    const Reed_solomon rs(15, 9);
+    const std::vector<std::uint8_t> word(15, 1);
+    const std::vector<int> out_of_range = {15};
+    EXPECT_THROW(rs.decode_with_erasures(word, out_of_range), Contract_violation);
+    const std::vector<int> duplicated = {3, 3};
+    EXPECT_THROW(rs.decode_with_erasures(word, duplicated), Contract_violation);
+}
+
+TEST(ReedSolomonErasures, CleanWordWithErasureDeclarations)
+{
+    const Reed_solomon rs(15, 9);
+    Prng prng(15);
+    std::vector<std::uint8_t> data(9);
+    prng.fill_bytes(data);
+    const auto codeword = rs.encode(data);
+    const std::vector<int> erasures = {0, 7};
+    const auto decoded = rs.decode_with_erasures(codeword, erasures);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->data, data);
+    EXPECT_EQ(decoded->corrected_erasures, 0);
+}
+
+TEST(ReedSolomonErasures, RandomizedSweep)
+{
+    Prng prng(16);
+    const Reed_solomon rs(63, 39); // 24 parity
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::uint8_t> data(39);
+        prng.fill_bytes(data);
+        auto corrupted = rs.encode(data);
+        const int erasure_count = static_cast<int>(prng.next_int(0, 12));
+        const int error_count =
+            static_cast<int>(prng.next_int(0, (24 - erasure_count) / 2));
+        std::vector<int> positions;
+        while (static_cast<int>(positions.size()) < erasure_count + error_count) {
+            const int pos = static_cast<int>(prng.next_below(63));
+            if (std::find(positions.begin(), positions.end(), pos) == positions.end()) {
+                positions.push_back(pos);
+            }
+        }
+        for (const int pos : positions) {
+            corrupted[static_cast<std::size_t>(pos)] ^=
+                static_cast<std::uint8_t>(prng.next_below(255) + 1);
+        }
+        const std::vector<int> erasures(positions.begin(), positions.begin() + erasure_count);
+        const auto decoded = rs.decode_with_erasures(corrupted, erasures);
+        ASSERT_TRUE(decoded.has_value())
+            << "trial " << trial << " e=" << erasure_count << " v=" << error_count;
+        EXPECT_EQ(decoded->data, data) << "trial " << trial;
+    }
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+#include "core/calibration.hpp"
+
+#include "channel/link.hpp"
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "core/session.hpp"
+#include "util/contract.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace inframe;
+using namespace inframe::core;
+using inframe::img::Homography;
+using inframe::img::Imagef;
+using inframe::util::Prng;
+
+constexpr int screen_w = 480;
+constexpr int screen_h = 270;
+
+coding::Code_geometry test_geometry()
+{
+    return coding::fitted_geometry(screen_w, screen_h, 2);
+}
+
+Homography keystone()
+{
+    const std::array<double, 8> quad_on_sensor = {22.0, 12.0, 452.0, 18.0,
+                                                  448.0, 250.0, 16.0, 256.0};
+    return Homography::rect_to_quad(screen_w, screen_h, quad_on_sensor).inverse();
+}
+
+channel::Camera_params perspective_camera(bool noisy)
+{
+    channel::Camera_params c;
+    c.fps = 30.0;
+    c.sensor_width = screen_w;
+    c.sensor_height = screen_h;
+    c.exposure_s = 1.0 / 120.0;
+    c.readout_s = 0.0;
+    c.optical_blur_sigma = noisy ? 0.5 : 0.0;
+    c.shot_noise_scale = noisy ? 0.12 : 0.0;
+    c.read_noise_sigma = noisy ? 0.8 : 0.0;
+    c.quantize = noisy;
+    c.sensor_to_screen = keystone();
+    return c;
+}
+
+// Captures one calibration frame through the perspective camera.
+Imagef captured_calibration_frame(bool noisy)
+{
+    channel::Display_params display;
+    display.response_persistence = 0.0;
+    display.black_level = 0.0;
+    channel::Screen_camera_link link(display, perspective_camera(noisy), screen_w, screen_h);
+    const auto frame = render_calibration_frame(test_geometry());
+    Imagef capture;
+    for (int j = 0; j < 8 && capture.empty(); ++j) {
+        for (auto& c : link.push_display_frame(frame)) capture = std::move(c.image);
+    }
+    return capture;
+}
+
+TEST(Calibration, FrameHasFourMarkers)
+{
+    const auto frame = render_calibration_frame(test_geometry());
+    const auto centers = calibration_marker_centers(test_geometry());
+    for (int m = 0; m < 4; ++m) {
+        const int cx = static_cast<int>(centers[static_cast<std::size_t>(2 * m)]);
+        const int cy = static_cast<int>(centers[static_cast<std::size_t>(2 * m + 1)]);
+        EXPECT_GT(frame(cx, cy), 200.0f) << "marker " << m;
+    }
+    EXPECT_LT(frame(screen_w / 2, screen_h / 2), 10.0f); // background
+}
+
+TEST(Calibration, DetectsMarkersOnThePristineFrame)
+{
+    const auto geometry = test_geometry();
+    const auto frame = render_calibration_frame(geometry);
+    const auto detected = detect_calibration_markers(frame);
+    ASSERT_TRUE(detected.has_value());
+    const auto expected = calibration_marker_centers(geometry);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR((*detected)[i], expected[i], 1.0) << "coordinate " << i;
+    }
+}
+
+TEST(Calibration, RejectsFlatCaptures)
+{
+    EXPECT_FALSE(detect_calibration_markers(Imagef(64, 36, 1, 127.0f)).has_value());
+}
+
+TEST(Calibration, EstimatesTheViewingHomography)
+{
+    const auto capture = captured_calibration_frame(/*noisy=*/false);
+    ASSERT_FALSE(capture.empty());
+    const auto estimated = estimate_sensor_to_screen(capture, test_geometry());
+    ASSERT_TRUE(estimated.has_value());
+    // Compare against the true homography at probe points.
+    const auto truth = keystone();
+    for (double x = 60.0; x < screen_w; x += 120.0) {
+        for (double y = 40.0; y < screen_h; y += 80.0) {
+            double ex = 0.0, ey = 0.0, tx = 0.0, ty = 0.0;
+            estimated->apply(x, y, ex, ey);
+            truth.apply(x, y, tx, ty);
+            EXPECT_NEAR(ex, tx, 2.5) << "at " << x << "," << y;
+            EXPECT_NEAR(ey, ty, 2.5) << "at " << x << "," << y;
+        }
+    }
+}
+
+TEST(Calibration, SelfCalibratedDecoderDeliversData)
+{
+    // The full bootstrap: calibrate from one flashed frame, then decode a
+    // data frame through the same (noisy) perspective camera.
+    const auto capture = captured_calibration_frame(/*noisy=*/true);
+    ASSERT_FALSE(capture.empty());
+    auto config = paper_config(screen_w, screen_h);
+    config.geometry = test_geometry();
+    config.tau = 8;
+    const auto estimated = estimate_sensor_to_screen(capture, config.geometry);
+    ASSERT_TRUE(estimated.has_value());
+
+    Inframe_encoder encoder(config);
+    Prng prng(5);
+    const auto payload =
+        prng.next_bits(static_cast<std::size_t>(config.geometry.payload_bits_per_frame()));
+    encoder.queue_payload(payload);
+    const auto truth = coding::encode_gob_parity(config.geometry, payload);
+
+    channel::Display_params display;
+    channel::Screen_camera_link link(display, perspective_camera(true), screen_w, screen_h);
+    auto params = make_decoder_params(config, screen_w, screen_h);
+    params.detector = Detector::matched;
+    params.capture_to_screen = estimated;
+    Inframe_decoder decoder(params);
+
+    std::vector<Data_frame_result> results;
+    for (int j = 0; j < 2 * config.tau; ++j) {
+        const auto frame = encoder.next_display_frame(Imagef(screen_w, screen_h, 1, 140.0f));
+        for (const auto& c : link.push_display_frame(frame)) {
+            for (auto& r : decoder.push_capture(c.image, c.start_time)) {
+                results.push_back(std::move(r));
+            }
+        }
+    }
+    ASSERT_FALSE(results.empty());
+    const auto& r0 = results.front();
+    EXPECT_GT(r0.gob.available_ratio, 0.7);
+    int wrong = 0;
+    int confident = 0;
+    for (std::size_t b = 0; b < truth.size(); ++b) {
+        if (r0.decisions[b] == coding::Block_decision::unknown) continue;
+        ++confident;
+        wrong += (r0.decisions[b] == coding::Block_decision::one ? 1 : 0) != truth[b];
+    }
+    EXPECT_GT(confident, 200);
+    EXPECT_LT(static_cast<double>(wrong) / confident, 0.02);
+}
+
+TEST(Calibration, ParameterValidation)
+{
+    Calibration_params bad;
+    bad.marker_fraction = 0.6;
+    EXPECT_THROW(render_calibration_frame(test_geometry(), bad),
+                 inframe::util::Contract_violation);
+}
+
+} // namespace

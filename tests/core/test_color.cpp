@@ -1,0 +1,190 @@
+// Colour-pipeline coverage: the paper's displays show colour video; the
+// embedding is a per-channel luminance modulation that must survive an RGB
+// path end to end.
+
+#include "channel/link.hpp"
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "core/session.hpp"
+#include "imgproc/image_ops.hpp"
+#include "imgproc/metrics.hpp"
+#include "util/prng.hpp"
+#include "video/source.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe;
+using namespace inframe::core;
+using inframe::coding::Block_decision;
+using inframe::img::Imagef;
+using inframe::util::Prng;
+
+Inframe_config small_config()
+{
+    auto config = paper_config(480, 270);
+    config.tau = 8;
+    return config;
+}
+
+Imagef warm_video_frame()
+{
+    Imagef frame(480, 270, 3);
+    for (int y = 0; y < 270; ++y) {
+        for (int x = 0; x < 480; ++x) {
+            frame(x, y, 0) = 160.0f;
+            frame(x, y, 1) = 120.0f;
+            frame(x, y, 2) = 90.0f;
+        }
+    }
+    return frame;
+}
+
+TEST(Color, ComplementaryPairPreservesChromaticity)
+{
+    const auto config = small_config();
+    Prng prng(1);
+    const auto bits = prng.next_bits(static_cast<std::size_t>(config.geometry.block_count()));
+    const Imagef video = warm_video_frame();
+    const auto pair = make_complementary_pair(config, video, bits);
+    ASSERT_EQ(pair.plus.channels(), 3);
+    // The average cancels on every channel.
+    Imagef average = img::add(pair.plus, pair.minus);
+    average = img::affine(average, 0.5f, 0.0f);
+    EXPECT_LT(img::mae(average, video), 1e-4);
+    // Inside a raised Pixel, all channels shift by the same amount: the
+    // R-G difference is invariant.
+    for (int y = 0; y < video.height(); y += 17) {
+        for (int x = 0; x < video.width(); x += 13) {
+            const float rg_video = video(x, y, 0) - video(x, y, 1);
+            const float rg_plus = pair.plus(x, y, 0) - pair.plus(x, y, 1);
+            EXPECT_NEAR(rg_plus, rg_video, 1e-4);
+        }
+    }
+}
+
+TEST(Color, EncoderAcceptsRgbVideo)
+{
+    const auto config = small_config();
+    Inframe_encoder encoder(config);
+    Prng prng(2);
+    encoder.queue_payload(
+        prng.next_bits(static_cast<std::size_t>(config.geometry.payload_bits_per_frame())));
+    const Imagef out = encoder.next_display_frame(warm_video_frame());
+    EXPECT_EQ(out.channels(), 3);
+}
+
+TEST(Color, EndToEndRgbRoundTrip)
+{
+    const auto config = small_config();
+    Inframe_encoder encoder(config);
+    Prng prng(3);
+    const auto payload =
+        prng.next_bits(static_cast<std::size_t>(config.geometry.payload_bits_per_frame()));
+    encoder.queue_payload(payload);
+    encoder.queue_payload(
+        prng.next_bits(static_cast<std::size_t>(config.geometry.payload_bits_per_frame())));
+    const auto truth = coding::encode_gob_parity(config.geometry, payload);
+
+    // RGB captures go straight to the decoder, which demodulates on
+    // luminance.
+    Inframe_decoder decoder(make_decoder_params(config, 480, 270));
+    const Imagef video = warm_video_frame();
+    std::vector<Data_frame_result> results;
+    for (int j = 0; j < 2 * config.tau; ++j) {
+        const Imagef frame = encoder.next_display_frame(video);
+        if (j % 4 == 0) {
+            for (auto& r : decoder.push_capture(frame, j / 120.0)) {
+                results.push_back(std::move(r));
+            }
+        }
+    }
+    ASSERT_FALSE(results.empty());
+    const auto& r0 = results.front();
+    EXPECT_DOUBLE_EQ(r0.gob.available_ratio, 1.0);
+    for (std::size_t b = 0; b < truth.size(); ++b) {
+        const auto expected = truth[b] ? Block_decision::one : Block_decision::zero;
+        EXPECT_EQ(r0.decisions[b], expected);
+    }
+}
+
+TEST(Color, RgbSurvivesTheCameraPath)
+{
+    const auto config = small_config();
+    Inframe_encoder encoder(config);
+    Prng prng(4);
+    const auto payload =
+        prng.next_bits(static_cast<std::size_t>(config.geometry.payload_bits_per_frame()));
+    encoder.queue_payload(payload);
+    const auto truth = coding::encode_gob_parity(config.geometry, payload);
+
+    channel::Display_params display;
+    display.response_persistence = 0.0;
+    display.black_level = 0.0;
+    channel::Camera_params camera;
+    camera.fps = 30.0;
+    camera.sensor_width = 480;
+    camera.sensor_height = 270;
+    camera.exposure_s = 1.0 / 120.0;
+    camera.readout_s = 0.0;
+    camera.optical_blur_sigma = 0.0;
+    camera.offset_x_px = 0.0;
+    camera.offset_y_px = 0.0;
+    camera.shot_noise_scale = 0.0;
+    camera.read_noise_sigma = 0.0;
+    camera.quantize = false;
+    channel::Screen_camera_link link(display, camera, 480, 270);
+    Inframe_decoder decoder(make_decoder_params(config, 480, 270));
+
+    const Imagef video = warm_video_frame();
+    std::vector<Data_frame_result> results;
+    for (int j = 0; j < 2 * config.tau; ++j) {
+        const Imagef frame = encoder.next_display_frame(video);
+        for (const auto& capture : link.push_display_frame(frame)) {
+            EXPECT_EQ(capture.image.channels(), 3);
+            for (auto& r : decoder.push_capture(capture.image, capture.start_time)) {
+                results.push_back(std::move(r));
+            }
+        }
+    }
+    ASSERT_FALSE(results.empty());
+    EXPECT_DOUBLE_EQ(results.front().gob.available_ratio, 1.0);
+    int wrong = 0;
+    for (std::size_t b = 0; b < truth.size(); ++b) {
+        if (results.front().decisions[b] == Block_decision::unknown) continue;
+        const std::uint8_t bit =
+            results.front().decisions[b] == Block_decision::one ? 1 : 0;
+        wrong += bit != truth[b];
+    }
+    EXPECT_EQ(wrong, 0);
+}
+
+TEST(Color, TintedVideoProducesRgbWithPreservedRamp)
+{
+    auto gray = std::make_shared<video::Sunrise_video>(96, 54, 30.0, 5);
+    video::Tinted_video tinted(gray, {10.0f, 5.0f, 30.0f}, {255.0f, 220.0f, 180.0f});
+    const Imagef frame = tinted.frame(300);
+    EXPECT_EQ(frame.channels(), 3);
+    EXPECT_EQ(tinted.name(), "sunrise-tinted");
+    // Bright gray areas map near the light tint, dark near the dark tint.
+    const Imagef source = gray->frame(300);
+    const auto [lo, hi] = img::min_max(source);
+    for (int y = 0; y < frame.height(); y += 9) {
+        for (int x = 0; x < frame.width(); x += 11) {
+            if (source(x, y) >= hi - 1.0f) {
+                EXPECT_GT(frame(x, y, 0), 200.0f);
+            }
+            if (source(x, y) <= lo + 1.0f) {
+                EXPECT_LT(frame(x, y, 0), 60.0f);
+            }
+        }
+    }
+}
+
+TEST(Color, TintedVideoValidation)
+{
+    EXPECT_THROW(video::Tinted_video(nullptr, {}, {}), inframe::util::Contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,56 @@
+#include "core/config.hpp"
+
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe::core;
+using inframe::util::Contract_violation;
+
+TEST(Config, PaperConfigMatchesPaperNumbers)
+{
+    const auto config = paper_config(1920, 1080);
+    EXPECT_EQ(config.geometry.payload_bits_per_frame(), 1125);
+    EXPECT_FLOAT_EQ(config.delta, 20.0f);
+    EXPECT_EQ(config.tau, 12);
+    EXPECT_EQ(config.video_repeat(), 4);
+    EXPECT_DOUBLE_EQ(config.data_frame_rate(), 10.0);
+    EXPECT_DOUBLE_EQ(config.raw_payload_rate(), 11250.0);
+}
+
+TEST(Config, Tau10GivesThePaperHeadlineRawRate)
+{
+    auto config = paper_config(1920, 1080);
+    config.tau = 10;
+    // 1125 bits x 12 data frames/s = 13.5 kbps raw; the paper measures
+    // 12.6-12.8 kbps after channel losses.
+    EXPECT_DOUBLE_EQ(config.raw_payload_rate(), 13500.0);
+}
+
+TEST(Config, ValidationRejectsBadParameters)
+{
+    auto config = paper_config(1920, 1080);
+    config.tau = 11; // odd
+    EXPECT_THROW(config.validate(), Contract_violation);
+    config = paper_config(1920, 1080);
+    config.delta = 0.0f;
+    EXPECT_THROW(config.validate(), Contract_violation);
+    config = paper_config(1920, 1080);
+    config.delta = 200.0f;
+    EXPECT_THROW(config.validate(), Contract_violation);
+    config = paper_config(1920, 1080);
+    config.display_fps = 100.0; // not an integer multiple of 30
+    EXPECT_THROW(config.validate(), Contract_violation);
+}
+
+TEST(Config, VideoRepeatForSixtyHz)
+{
+    auto config = paper_config(1920, 1080);
+    config.display_fps = 60.0;
+    config.validate();
+    EXPECT_EQ(config.video_repeat(), 2);
+}
+
+} // namespace

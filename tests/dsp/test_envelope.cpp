@@ -1,0 +1,167 @@
+#include "dsp/envelope.hpp"
+
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace inframe::dsp;
+using inframe::util::Contract_violation;
+
+TEST(TransitionGain, EndpointsForAllShapes)
+{
+    for (const auto shape :
+         {Transition_shape::srrc, Transition_shape::linear, Transition_shape::stair}) {
+        EXPECT_DOUBLE_EQ(transition_gain_01(shape, 0.0), 0.0) << to_string(shape);
+        EXPECT_DOUBLE_EQ(transition_gain_01(shape, 1.0), 1.0) << to_string(shape);
+        EXPECT_DOUBLE_EQ(transition_gain_10(shape, 0.0), 1.0) << to_string(shape);
+        EXPECT_DOUBLE_EQ(transition_gain_10(shape, 1.0), 0.0) << to_string(shape);
+    }
+}
+
+TEST(TransitionGain, SrrcIsHalfSquareRootRaisedCosine)
+{
+    // sin(pi t / 2) at t = 0.5 -> sin(pi/4) = sqrt(2)/2.
+    EXPECT_NEAR(transition_gain_01(Transition_shape::srrc, 0.5), std::sqrt(0.5), 1e-12);
+}
+
+TEST(TransitionGain, MonotoneNonDecreasing)
+{
+    for (const auto shape :
+         {Transition_shape::srrc, Transition_shape::linear, Transition_shape::stair}) {
+        double prev = -1.0;
+        for (int i = 0; i <= 20; ++i) {
+            const double g = transition_gain_01(shape, i / 20.0);
+            EXPECT_GE(g, prev) << to_string(shape);
+            prev = g;
+        }
+    }
+}
+
+TEST(TransitionGain, SrrcIsSmootherThanLinearNearEnd)
+{
+    // SRRC flattens into the target level; linear does not.
+    const double srrc_step =
+        transition_gain_01(Transition_shape::srrc, 1.0) - transition_gain_01(Transition_shape::srrc, 0.9);
+    const double linear_step =
+        transition_gain_01(Transition_shape::linear, 1.0) - transition_gain_01(Transition_shape::linear, 0.9);
+    EXPECT_LT(srrc_step, linear_step);
+}
+
+TEST(TransitionGain, RangeValidation)
+{
+    EXPECT_THROW(transition_gain_01(Transition_shape::srrc, -0.1), Contract_violation);
+    EXPECT_THROW(transition_gain_01(Transition_shape::srrc, 1.1), Contract_violation);
+}
+
+TEST(SmoothingEnvelope, ConstantBitsHoldLevel)
+{
+    const std::uint8_t bits[] = {1, 1, 1};
+    const auto envelope = smoothing_envelope(bits, 10);
+    ASSERT_EQ(envelope.size(), 30u);
+    for (const double g : envelope) EXPECT_DOUBLE_EQ(g, 1.0);
+}
+
+TEST(SmoothingEnvelope, ZeroBitsStayZero)
+{
+    const std::uint8_t bits[] = {0, 0};
+    const auto envelope = smoothing_envelope(bits, 12);
+    for (const double g : envelope) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+TEST(SmoothingEnvelope, TransitionStartsAtHalfCycle)
+{
+    const std::uint8_t bits[] = {1, 0};
+    const int tau = 10;
+    const auto envelope = smoothing_envelope(bits, tau);
+    ASSERT_EQ(envelope.size(), 20u);
+    // First half of the first period holds at 1.
+    for (int k = 0; k < tau / 2; ++k) EXPECT_DOUBLE_EQ(envelope[static_cast<std::size_t>(k)], 1.0);
+    // Second half descends strictly.
+    for (int k = tau / 2; k < tau - 1; ++k) {
+        EXPECT_GT(envelope[static_cast<std::size_t>(k)],
+                  envelope[static_cast<std::size_t>(k + 1)]);
+    }
+    // Lands exactly on the new level at the period boundary.
+    EXPECT_NEAR(envelope[static_cast<std::size_t>(tau - 1)], 0.0, 1e-12);
+    // Second period holds at 0.
+    for (int k = tau; k < 2 * tau; ++k) EXPECT_DOUBLE_EQ(envelope[static_cast<std::size_t>(k)], 0.0);
+}
+
+TEST(SmoothingEnvelope, RisingTransitionMirrorsFalling)
+{
+    // gain_10(t) == gain_01(1 - t): for SRRC this means the two envelopes
+    // are sin/cos pairs (squares sum to 1); for linear they sum to 1.
+    const std::uint8_t rise[] = {0, 1};
+    const std::uint8_t fall[] = {1, 0};
+    const int tau = 12;
+    const auto up_srrc = smoothing_envelope(rise, tau, Transition_shape::srrc);
+    const auto down_srrc = smoothing_envelope(fall, tau, Transition_shape::srrc);
+    const auto up_lin = smoothing_envelope(rise, tau, Transition_shape::linear);
+    const auto down_lin = smoothing_envelope(fall, tau, Transition_shape::linear);
+    for (int k = tau / 2; k < tau; ++k) {
+        const auto i = static_cast<std::size_t>(k);
+        EXPECT_NEAR(up_srrc[i] * up_srrc[i] + down_srrc[i] * down_srrc[i], 1.0, 1e-12);
+        EXPECT_NEAR(up_lin[i] + down_lin[i], 1.0, 1e-12);
+    }
+}
+
+TEST(SmoothingEnvelope, LargerTauLowersPerFrameSlope)
+{
+    const std::uint8_t bits[] = {1, 0};
+    for (const auto shape : {Transition_shape::srrc, Transition_shape::linear}) {
+        double max_step_fast = 0.0;
+        double max_step_slow = 0.0;
+        const auto fast = smoothing_envelope(bits, 10, shape);
+        const auto slow = smoothing_envelope(bits, 20, shape);
+        for (std::size_t i = 1; i < fast.size(); ++i) {
+            max_step_fast = std::max(max_step_fast, std::fabs(fast[i] - fast[i - 1]));
+        }
+        for (std::size_t i = 1; i < slow.size(); ++i) {
+            max_step_slow = std::max(max_step_slow, std::fabs(slow[i] - slow[i - 1]));
+        }
+        EXPECT_LT(max_step_slow, max_step_fast) << to_string(shape);
+    }
+}
+
+TEST(SmoothingEnvelope, StairKeepsFullStep)
+{
+    const std::uint8_t bits[] = {1, 0};
+    const auto envelope = smoothing_envelope(bits, 12, Transition_shape::stair);
+    double max_step = 0.0;
+    for (std::size_t i = 1; i < envelope.size(); ++i) {
+        max_step = std::max(max_step, std::fabs(envelope[i] - envelope[i - 1]));
+    }
+    EXPECT_DOUBLE_EQ(max_step, 1.0);
+}
+
+TEST(SmoothingEnvelope, TauValidation)
+{
+    const std::uint8_t bits[] = {1};
+    EXPECT_THROW(smoothing_envelope(bits, 0), Contract_violation);
+    EXPECT_THROW(smoothing_envelope(bits, 7), Contract_violation);
+}
+
+TEST(PixelWaveform, AlternatesSign)
+{
+    const std::uint8_t bits[] = {1, 1};
+    const auto waveform = pixel_waveform(bits, 4);
+    ASSERT_EQ(waveform.size(), 8u);
+    for (std::size_t i = 0; i < waveform.size(); ++i) {
+        EXPECT_DOUBLE_EQ(waveform[i], i % 2 == 0 ? 1.0 : -1.0);
+    }
+}
+
+TEST(PixelWaveform, ComplementaryPairsCancelAtConstantEnvelope)
+{
+    const std::uint8_t bits[] = {1, 1, 1, 1};
+    const auto waveform = pixel_waveform(bits, 10);
+    for (std::size_t i = 0; i + 1 < waveform.size(); i += 2) {
+        EXPECT_NEAR(waveform[i] + waveform[i + 1], 0.0, 1e-12);
+    }
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+#include "hvs/observer.hpp"
+
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe::hvs;
+
+TEST(ObserverPanel, SizeAndDeterminism)
+{
+    const auto a = make_observer_panel(8, 42);
+    const auto b = make_observer_panel(8, 42);
+    ASSERT_EQ(a.size(), 8u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].cff_ref_hz, b[i].cff_ref_hz);
+        EXPECT_DOUBLE_EQ(a[i].amp_threshold, b[i].amp_threshold);
+    }
+}
+
+TEST(ObserverPanel, FirstObserverIsReference)
+{
+    const auto panel = make_observer_panel(4, 7);
+    EXPECT_DOUBLE_EQ(panel[0].cff_ref_hz, Observer{}.cff_ref_hz);
+    EXPECT_DOUBLE_EQ(panel[0].amp_threshold, Observer{}.amp_threshold);
+}
+
+TEST(ObserverPanel, CffWithinPhysiologicalRange)
+{
+    const auto panel = make_observer_panel(64, 3);
+    for (const auto& o : panel) {
+        EXPECT_GE(o.cff_ref_hz, 38.0);
+        EXPECT_LE(o.cff_ref_hz, 52.0);
+        EXPECT_GT(o.amp_threshold, 0.0);
+    }
+}
+
+TEST(ObserverPanel, ContainsSensitiveExperts)
+{
+    const auto panel = make_observer_panel(8, 42);
+    // Observers 1-2 are biased sensitive; on average they should sit below
+    // the panel median threshold.
+    double expert = (panel[1].amp_threshold + panel[2].amp_threshold) / 2.0;
+    double rest = 0.0;
+    for (std::size_t i = 3; i < panel.size(); ++i) rest += panel[i].amp_threshold;
+    rest /= static_cast<double>(panel.size() - 3);
+    EXPECT_LT(expert, rest);
+}
+
+TEST(ObserverPanel, SeedChangesPanel)
+{
+    const auto a = make_observer_panel(8, 1);
+    const auto b = make_observer_panel(8, 2);
+    bool differs = false;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        differs |= a[i].cff_ref_hz != b[i].cff_ref_hz;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(ObserverPanel, RejectsEmptyPanel)
+{
+    EXPECT_THROW(make_observer_panel(0, 1), inframe::util::Contract_violation);
+}
+
+TEST(ObserverPanel, LabelsAreUnique)
+{
+    const auto panel = make_observer_panel(8, 42);
+    for (std::size_t i = 0; i < panel.size(); ++i) {
+        EXPECT_EQ(panel[i].label, "observer-" + std::to_string(i));
+    }
+}
+
+} // namespace

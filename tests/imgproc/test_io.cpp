@@ -1,0 +1,128 @@
+#include "imgproc/io.hpp"
+
+#include "imgproc/image_ops.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+using namespace inframe::img;
+using inframe::util::Prng;
+
+class IoTest : public ::testing::Test {
+protected:
+    std::string path(const std::string& name)
+    {
+        const auto dir = std::filesystem::temp_directory_path() / "inframe_io_test";
+        std::filesystem::create_directories(dir);
+        const auto full = dir / name;
+        created_.push_back(full);
+        return full.string();
+    }
+
+    void TearDown() override
+    {
+        for (const auto& p : created_) std::filesystem::remove(p);
+    }
+
+    std::vector<std::filesystem::path> created_;
+};
+
+TEST_F(IoTest, PgmRoundTrip)
+{
+    Prng prng(21);
+    Image8 original(33, 17, 1);
+    for (auto& v : original.values()) v = static_cast<std::uint8_t>(prng.next_below(256));
+    const auto file = path("gray.pgm");
+    write_pnm(original, file);
+    const Image8 loaded = read_pnm(file);
+    ASSERT_EQ(loaded.width(), original.width());
+    ASSERT_EQ(loaded.height(), original.height());
+    ASSERT_EQ(loaded.channels(), 1);
+    for (std::size_t i = 0; i < original.values().size(); ++i) {
+        EXPECT_EQ(loaded.values()[i], original.values()[i]);
+    }
+}
+
+TEST_F(IoTest, PpmRoundTrip)
+{
+    Prng prng(22);
+    Image8 original(8, 6, 3);
+    for (auto& v : original.values()) v = static_cast<std::uint8_t>(prng.next_below(256));
+    const auto file = path("rgb.ppm");
+    write_pnm(original, file);
+    const Image8 loaded = read_pnm(file);
+    ASSERT_EQ(loaded.channels(), 3);
+    for (std::size_t i = 0; i < original.values().size(); ++i) {
+        EXPECT_EQ(loaded.values()[i], original.values()[i]);
+    }
+}
+
+TEST_F(IoTest, FloatWriteQuantizes)
+{
+    Imagef image(2, 1);
+    image(0, 0) = 300.0f;
+    image(1, 0) = -5.0f;
+    const auto file = path("clamp.pgm");
+    write_pnm(image, file);
+    const Image8 loaded = read_pnm(file);
+    EXPECT_EQ(loaded(0, 0), 255);
+    EXPECT_EQ(loaded(1, 0), 0);
+}
+
+TEST_F(IoTest, CommentsInHeaderAreSkipped)
+{
+    const auto file = path("comment.pgm");
+    {
+        std::ofstream out(file, std::ios::binary);
+        out << "P5\n# a comment line\n2 1\n# another\n255\n";
+        out.put(10);
+        out.put(200);
+    }
+    const Image8 loaded = read_pnm(file);
+    EXPECT_EQ(loaded(0, 0), 10);
+    EXPECT_EQ(loaded(1, 0), 200);
+}
+
+TEST_F(IoTest, MissingFileThrows)
+{
+    EXPECT_THROW(read_pnm("/nonexistent/definitely/missing.pgm"), std::runtime_error);
+}
+
+TEST_F(IoTest, BadMagicThrows)
+{
+    const auto file = path("bad_magic.pgm");
+    {
+        std::ofstream out(file, std::ios::binary);
+        out << "P3\n2 1\n255\n1 2 3 4 5 6\n";
+    }
+    EXPECT_THROW(read_pnm(file), std::runtime_error);
+}
+
+TEST_F(IoTest, TruncatedDataThrows)
+{
+    const auto file = path("truncated.pgm");
+    {
+        std::ofstream out(file, std::ios::binary);
+        out << "P5\n4 4\n255\n";
+        out.put(1); // only 1 of 16 bytes
+    }
+    EXPECT_THROW(read_pnm(file), std::runtime_error);
+}
+
+TEST_F(IoTest, BadDimensionsThrow)
+{
+    const auto file = path("bad_dims.pgm");
+    {
+        std::ofstream out(file, std::ios::binary);
+        out << "P5\n0 4\n255\n";
+    }
+    EXPECT_THROW(read_pnm(file), std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+#include "imgproc/metrics.hpp"
+
+#include "imgproc/draw.hpp"
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace inframe::img;
+using inframe::util::Contract_violation;
+using inframe::util::Prng;
+
+TEST(Metrics, MaeOfIdenticalImagesIsZero)
+{
+    const Imagef a(8, 8, 1, 20.0f);
+    EXPECT_DOUBLE_EQ(mae(a, a), 0.0);
+}
+
+TEST(Metrics, MaeOfConstantOffset)
+{
+    const Imagef a(8, 8, 1, 20.0f);
+    const Imagef b(8, 8, 1, 25.0f);
+    EXPECT_DOUBLE_EQ(mae(a, b), 5.0);
+}
+
+TEST(Metrics, MseOfConstantOffset)
+{
+    const Imagef a(8, 8, 1, 20.0f);
+    const Imagef b(8, 8, 1, 26.0f);
+    EXPECT_DOUBLE_EQ(mse(a, b), 36.0);
+}
+
+TEST(Metrics, ShapeMismatchThrows)
+{
+    const Imagef a(8, 8);
+    const Imagef b(9, 8);
+    EXPECT_THROW(mae(a, b), Contract_violation);
+    EXPECT_THROW(mse(a, b), Contract_violation);
+}
+
+TEST(Metrics, PsnrIdenticalIsInfinite)
+{
+    const Imagef a(8, 8, 1, 100.0f);
+    EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Metrics, PsnrKnownValue)
+{
+    const Imagef a(8, 8, 1, 0.0f);
+    const Imagef b(8, 8, 1, 255.0f);
+    // MSE = 255^2 -> PSNR = 0 dB.
+    EXPECT_NEAR(psnr(a, b), 0.0, 1e-9);
+}
+
+TEST(Metrics, PsnrOrdersDegradations)
+{
+    Prng prng(31);
+    Imagef base(32, 32);
+    for (auto& v : base.values()) v = static_cast<float>(prng.next_double(0, 255));
+    Imagef light = base;
+    Imagef heavy = base;
+    light.transform([&](float v) { return v + 2.0f; });
+    heavy.transform([&](float v) { return v + 20.0f; });
+    EXPECT_GT(psnr(base, light), psnr(base, heavy));
+}
+
+TEST(Metrics, SsimIdenticalIsOne)
+{
+    Prng prng(32);
+    Imagef a(32, 32);
+    for (auto& v : a.values()) v = static_cast<float>(prng.next_double(0, 255));
+    EXPECT_NEAR(ssim(a, a), 1.0, 1e-9);
+}
+
+TEST(Metrics, SsimDropsWithNoise)
+{
+    Prng prng(33);
+    Imagef a(64, 64);
+    for (auto& v : a.values()) v = static_cast<float>(prng.next_double(64, 192));
+    Imagef noisy = a;
+    for (auto& v : noisy.values()) v += static_cast<float>(prng.next_gaussian(0.0, 25.0));
+    const double score = ssim(a, noisy);
+    EXPECT_LT(score, 0.95);
+    EXPECT_GT(score, 0.0);
+}
+
+TEST(Metrics, SsimDetectsStructuralChange)
+{
+    const Imagef board = checkerboard(64, 64, 4, 50.0f, 200.0f);
+    const Imagef flat(64, 64, 1, 125.0f); // same mean, no structure
+    EXPECT_LT(ssim(board, flat), 0.3);
+}
+
+TEST(Metrics, SsimTooSmallImageThrows)
+{
+    const Imagef a(4, 4, 1, 10.0f);
+    EXPECT_THROW(ssim(a, a), Contract_violation);
+}
+
+TEST(Metrics, SsimAcceptsRgb)
+{
+    Imagef rgb(16, 16, 3, 100.0f);
+    EXPECT_NEAR(ssim(rgb, rgb), 1.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+#include "imgproc/resize.hpp"
+
+#include "imgproc/draw.hpp"
+#include "imgproc/image_ops.hpp"
+#include "util/contract.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe::img;
+using inframe::util::Contract_violation;
+using inframe::util::Prng;
+
+TEST(ResizeBilinear, IdentitySize)
+{
+    Prng prng(5);
+    Imagef a(7, 5);
+    for (auto& v : a.values()) v = static_cast<float>(prng.next_double(0, 255));
+    const Imagef out = resize_bilinear(a, 7, 5);
+    for (std::size_t i = 0; i < a.values().size(); ++i) {
+        EXPECT_NEAR(out.values()[i], a.values()[i], 1e-3f);
+    }
+}
+
+TEST(ResizeBilinear, ConstantStaysConstant)
+{
+    const Imagef a(16, 16, 1, 88.0f);
+    const Imagef out = resize_bilinear(a, 9, 23);
+    for (const float v : out.values()) EXPECT_NEAR(v, 88.0f, 1e-3f);
+}
+
+TEST(ResizeBilinear, GradientStaysMonotonic)
+{
+    const Imagef ramp = horizontal_gradient(64, 4, 0.0f, 255.0f);
+    const Imagef out = resize_bilinear(ramp, 31, 4);
+    for (int x = 1; x < out.width(); ++x) EXPECT_GE(out(x, 1), out(x - 1, 1));
+}
+
+TEST(ResizeBilinear, RejectsEmptyOutput)
+{
+    const Imagef a(4, 4);
+    EXPECT_THROW(resize_bilinear(a, 0, 4), Contract_violation);
+}
+
+TEST(ResizeArea, DownscalePreservesMean)
+{
+    Prng prng(6);
+    Imagef a(64, 48);
+    for (auto& v : a.values()) v = static_cast<float>(prng.next_double(0, 255));
+    const Imagef out = resize_area(a, 21, 17);
+    EXPECT_NEAR(mean(out), mean(a), 1.0);
+}
+
+TEST(ResizeArea, ExactFactorAveragesBlocks)
+{
+    Imagef a(4, 2);
+    a(0, 0) = 0.0f;
+    a(1, 0) = 100.0f;
+    a(2, 0) = 40.0f;
+    a(3, 0) = 60.0f;
+    a(0, 1) = 100.0f;
+    a(1, 1) = 0.0f;
+    a(2, 1) = 60.0f;
+    a(3, 1) = 40.0f;
+    const Imagef out = resize_area(a, 2, 1);
+    EXPECT_NEAR(out(0, 0), 50.0f, 1e-3f);
+    EXPECT_NEAR(out(1, 0), 50.0f, 1e-3f);
+}
+
+TEST(ResizeArea, NonIntegerFactorWeightsOverlap)
+{
+    // 3 -> 2: each output pixel covers 1.5 input pixels.
+    Imagef a(3, 1);
+    a(0, 0) = 0.0f;
+    a(1, 0) = 90.0f;
+    a(2, 0) = 30.0f;
+    const Imagef out = resize_area(a, 2, 1);
+    EXPECT_NEAR(out(0, 0), (0.0 * 1.0 + 90.0 * 0.5) / 1.5, 1e-3);
+    EXPECT_NEAR(out(1, 0), (90.0 * 0.5 + 30.0 * 1.0) / 1.5, 1e-3);
+}
+
+TEST(SampleBilinear, InterpolatesBetweenPixels)
+{
+    Imagef a(2, 1);
+    a(0, 0) = 10.0f;
+    a(1, 0) = 20.0f;
+    EXPECT_NEAR(sample_bilinear(a, 0.5f, 0.0f), 15.0f, 1e-4f);
+    EXPECT_NEAR(sample_bilinear(a, 0.25f, 0.0f), 12.5f, 1e-4f);
+}
+
+TEST(SampleBilinear, ClampsOutside)
+{
+    Imagef a(2, 2);
+    a(0, 0) = 1.0f;
+    a(1, 1) = 9.0f;
+    EXPECT_NEAR(sample_bilinear(a, -3.0f, -3.0f), 1.0f, 1e-4f);
+    EXPECT_NEAR(sample_bilinear(a, 10.0f, 10.0f), 9.0f, 1e-4f);
+}
+
+TEST(Translate, IntegerShiftMovesContent)
+{
+    Imagef a(5, 5, 1, 0.0f);
+    a(1, 1) = 77.0f;
+    const Imagef out = translate(a, 2.0f, 1.0f);
+    EXPECT_NEAR(out(3, 2), 77.0f, 1e-3f);
+    EXPECT_NEAR(out(1, 1), 0.0f, 1e-3f);
+}
+
+TEST(Translate, SubPixelShiftSplitsEnergy)
+{
+    Imagef a(4, 1, 1, 0.0f);
+    a(1, 0) = 100.0f;
+    const Imagef out = translate(a, 0.5f, 0.0f);
+    EXPECT_NEAR(out(1, 0), 50.0f, 1e-3f);
+    EXPECT_NEAR(out(2, 0), 50.0f, 1e-3f);
+}
+
+TEST(UpscaleNearest, ReplicatesPixels)
+{
+    Imagef a(2, 1);
+    a(0, 0) = 3.0f;
+    a(1, 0) = 8.0f;
+    const Imagef out = upscale_nearest(a, 3);
+    EXPECT_EQ(out.width(), 6);
+    EXPECT_EQ(out.height(), 3);
+    EXPECT_EQ(out(0, 0), 3.0f);
+    EXPECT_EQ(out(2, 2), 3.0f);
+    EXPECT_EQ(out(3, 0), 8.0f);
+    EXPECT_EQ(out(5, 2), 8.0f);
+    EXPECT_THROW(upscale_nearest(a, 0), Contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+#include "util/bitstream.hpp"
+
+#include "util/contract.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe::util;
+
+TEST(Bitstream, SingleBitsRoundTrip)
+{
+    Bit_writer writer;
+    const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1};
+    for (const int bit : pattern) writer.put_bit(bit);
+    EXPECT_EQ(writer.bit_count(), 9u);
+
+    Bit_reader reader(writer.bytes(), writer.bit_count());
+    for (const int bit : pattern) EXPECT_EQ(reader.get_bit(), bit);
+    EXPECT_TRUE(reader.at_end());
+}
+
+TEST(Bitstream, MsbFirstPacking)
+{
+    Bit_writer writer;
+    writer.put_bit(1); // must land in bit 7 of byte 0
+    EXPECT_EQ(writer.bytes().at(0), 0x80);
+}
+
+TEST(Bitstream, MultiBitValues)
+{
+    Bit_writer writer;
+    writer.put_bits(0b1011'0110'1, 9);
+    Bit_reader reader(writer.bytes(), writer.bit_count());
+    EXPECT_EQ(reader.get_bits(9), 0b1011'0110'1u);
+}
+
+TEST(Bitstream, ByteAlignedAccess)
+{
+    Bit_writer writer;
+    writer.put_byte(0xa5);
+    writer.put_byte(0x3c);
+    Bit_reader reader(writer.bytes());
+    EXPECT_EQ(reader.get_byte(), 0xa5);
+    EXPECT_EQ(reader.get_byte(), 0x3c);
+}
+
+TEST(Bitstream, UnalignedBytes)
+{
+    Bit_writer writer;
+    writer.put_bit(1);
+    writer.put_byte(0xff);
+    writer.put_bit(0);
+    Bit_reader reader(writer.bytes(), writer.bit_count());
+    EXPECT_EQ(reader.get_bit(), 1);
+    EXPECT_EQ(reader.get_byte(), 0xff);
+    EXPECT_EQ(reader.get_bit(), 0);
+}
+
+TEST(Bitstream, ReadPastEndThrows)
+{
+    Bit_writer writer;
+    writer.put_bit(1);
+    Bit_reader reader(writer.bytes(), writer.bit_count());
+    reader.get_bit();
+    EXPECT_THROW(reader.get_bit(), Contract_violation);
+}
+
+TEST(Bitstream, PutBitsCountValidation)
+{
+    Bit_writer writer;
+    EXPECT_THROW(writer.put_bits(0, 65), Contract_violation);
+    EXPECT_THROW(writer.put_bits(0, -1), Contract_violation);
+}
+
+TEST(Bitstream, BitCountExceedingBufferThrows)
+{
+    const std::vector<std::uint8_t> bytes = {0xff};
+    EXPECT_THROW(Bit_reader(bytes, 9), Contract_violation);
+}
+
+TEST(Bitstream, PackUnpackRoundTrip)
+{
+    Prng prng(123);
+    const auto bits = prng.next_bits(777);
+    const auto bytes = pack_bits(bits);
+    EXPECT_EQ(bytes.size(), (777 + 7) / 8);
+    const auto recovered = unpack_bits(bytes, bits.size());
+    EXPECT_EQ(recovered, bits);
+}
+
+TEST(Bitstream, RandomRoundTripThroughWriterReader)
+{
+    Prng prng(456);
+    Bit_writer writer;
+    std::vector<std::pair<std::uint64_t, int>> values;
+    for (int i = 0; i < 200; ++i) {
+        const int count = static_cast<int>(prng.next_int(1, 64));
+        const std::uint64_t value =
+            count == 64 ? prng.next_u64() : prng.next_u64() & ((1ULL << count) - 1);
+        writer.put_bits(value, count);
+        values.emplace_back(value, count);
+    }
+    Bit_reader reader(writer.bytes(), writer.bit_count());
+    for (const auto& [value, count] : values) EXPECT_EQ(reader.get_bits(count), value);
+}
+
+TEST(Bitstream, ToBitVectorMatchesWrites)
+{
+    Bit_writer writer;
+    writer.put_bits(0b101, 3);
+    const auto bits = writer.to_bit_vector();
+    ASSERT_EQ(bits.size(), 3u);
+    EXPECT_EQ(bits[0], 1);
+    EXPECT_EQ(bits[1], 0);
+    EXPECT_EQ(bits[2], 1);
+}
+
+TEST(Bitstream, BitsRemainingTracksPosition)
+{
+    Bit_writer writer;
+    writer.put_bits(0xffff, 16);
+    Bit_reader reader(writer.bytes(), writer.bit_count());
+    EXPECT_EQ(reader.bits_remaining(), 16u);
+    reader.get_bits(5);
+    EXPECT_EQ(reader.bits_remaining(), 11u);
+}
+
+} // namespace

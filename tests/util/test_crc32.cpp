@@ -1,0 +1,67 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace inframe::util;
+
+std::vector<std::uint8_t> bytes_of(const std::string& s)
+{
+    return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectorQuickFox)
+{
+    // Standard CRC-32 ("123456789") check value.
+    EXPECT_EQ(crc32(bytes_of("123456789")), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyInput)
+{
+    EXPECT_EQ(crc32({}), 0x0000'0000u);
+}
+
+TEST(Crc32, SingleByteDiffers)
+{
+    EXPECT_NE(crc32(bytes_of("a")), crc32(bytes_of("b")));
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const auto data = bytes_of("InFrame dual-mode visible channel");
+    Crc32 crc;
+    for (const auto b : data) crc.update(b);
+    EXPECT_EQ(crc.value(), crc32(data));
+}
+
+TEST(Crc32, SplitUpdateMatches)
+{
+    const auto data = bytes_of("complementary frames");
+    Crc32 crc;
+    crc.update(std::span<const std::uint8_t>(data).first(5));
+    crc.update(std::span<const std::uint8_t>(data).subspan(5));
+    EXPECT_EQ(crc.value(), crc32(data));
+}
+
+TEST(Crc32, ResetRestoresInitialState)
+{
+    Crc32 crc;
+    crc.update(bytes_of("junk"));
+    crc.reset();
+    crc.update(bytes_of("123456789"));
+    EXPECT_EQ(crc.value(), 0xcbf43926u);
+}
+
+TEST(Crc32, DetectsBitFlip)
+{
+    auto data = bytes_of("payload under test");
+    const auto original = crc32(data);
+    data[4] ^= 0x01;
+    EXPECT_NE(crc32(data), original);
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+#include "util/csv.hpp"
+
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace inframe::util;
+
+TEST(Table, RowArityIsChecked)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({std::string("only one")}), Contract_violation);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"name", "value"});
+    t.add_row({std::string("alpha"), 1.5});
+    t.add_row({std::string("beta"), static_cast<long long>(7)});
+    std::ostringstream out;
+    t.write_csv(out);
+    EXPECT_EQ(out.str(), "name,value\nalpha,1.500\nbeta,7\n");
+}
+
+TEST(Table, CsvEscapesSeparatorsAndQuotes)
+{
+    Table t({"text"});
+    t.add_row({std::string("a,b")});
+    t.add_row({std::string("say \"hi\"")});
+    std::ostringstream out;
+    t.write_csv(out);
+    EXPECT_EQ(out.str(), "text\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, PrintContainsHeaderAndValues)
+{
+    Table t({"metric", "kbps"});
+    t.add_row({std::string("gray"), 12.8});
+    std::ostringstream out;
+    t.print(out);
+    const auto text = out.str();
+    EXPECT_NE(text.find("metric"), std::string::npos);
+    EXPECT_NE(text.find("12.800"), std::string::npos);
+}
+
+TEST(Table, EmptyColumnListRejected)
+{
+    EXPECT_THROW(Table({}), Contract_violation);
+}
+
+TEST(FormatFixed, Rounds)
+{
+    EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+    EXPECT_EQ(format_fixed(1.235, 2), "1.24");
+    EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+#include "util/prng.hpp"
+
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using inframe::util::Contract_violation;
+using inframe::util::Prng;
+
+TEST(Prng, SameSeedSameStream)
+{
+    Prng a(42);
+    Prng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiverge)
+{
+    Prng a(1);
+    Prng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+    EXPECT_LE(equal, 1);
+}
+
+TEST(Prng, ZeroSeedIsNotDegenerate)
+{
+    Prng a(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 32; ++i) seen.insert(a.next_u64());
+    EXPECT_GT(seen.size(), 30u);
+}
+
+TEST(Prng, NextBelowStaysInRange)
+{
+    Prng a(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(a.next_below(17), 17u);
+}
+
+TEST(Prng, NextBelowRejectsZeroBound)
+{
+    Prng a(7);
+    EXPECT_THROW(a.next_below(0), Contract_violation);
+}
+
+TEST(Prng, NextBelowIsRoughlyUniform)
+{
+    Prng a(99);
+    constexpr int buckets = 8;
+    constexpr int draws = 80'000;
+    int counts[buckets] = {};
+    for (int i = 0; i < draws; ++i) ++counts[a.next_below(buckets)];
+    for (const int c : counts) {
+        EXPECT_NEAR(c, draws / buckets, draws / buckets / 10);
+    }
+}
+
+TEST(Prng, NextIntInclusiveBounds)
+{
+    Prng a(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = a.next_int(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, NextIntRejectsInvertedRange)
+{
+    Prng a(3);
+    EXPECT_THROW(a.next_int(3, -3), Contract_violation);
+}
+
+TEST(Prng, NextDoubleUnitInterval)
+{
+    Prng a(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = a.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Prng, NextDoubleRangeMeanIsCentered)
+{
+    Prng a(12);
+    double sum = 0.0;
+    constexpr int n = 50'000;
+    for (int i = 0; i < n; ++i) sum += a.next_double(10.0, 20.0);
+    EXPECT_NEAR(sum / n, 15.0, 0.1);
+}
+
+TEST(Prng, GaussianMomentsMatch)
+{
+    Prng a(13);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    constexpr int n = 100'000;
+    for (int i = 0; i < n; ++i) {
+        const double v = a.next_gaussian();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Prng, GaussianScaled)
+{
+    Prng a(14);
+    double sum = 0.0;
+    constexpr int n = 50'000;
+    for (int i = 0; i < n; ++i) sum += a.next_gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Prng, GaussianRejectsNegativeStddev)
+{
+    Prng a(14);
+    EXPECT_THROW(a.next_gaussian(0.0, -1.0), Contract_violation);
+}
+
+TEST(Prng, BernoulliEdgeCases)
+{
+    Prng a(15);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(a.next_bernoulli(0.0));
+        EXPECT_TRUE(a.next_bernoulli(1.0));
+    }
+}
+
+TEST(Prng, BernoulliRate)
+{
+    Prng a(16);
+    int hits = 0;
+    constexpr int n = 50'000;
+    for (int i = 0; i < n; ++i) hits += a.next_bernoulli(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Prng, FillBytesCoversBuffer)
+{
+    Prng a(17);
+    std::vector<std::uint8_t> buffer(1003, 0);
+    a.fill_bytes(buffer);
+    int zeros = 0;
+    for (const auto b : buffer) zeros += b == 0;
+    // Random bytes are zero with probability 1/256.
+    EXPECT_LT(zeros, 30);
+}
+
+TEST(Prng, NextBitsAreBalanced)
+{
+    Prng a(18);
+    const auto bits = a.next_bits(20'000);
+    std::size_t ones = 0;
+    for (const auto b : bits) {
+        EXPECT_LE(b, 1);
+        ones += b;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / static_cast<double>(bits.size()), 0.5, 0.02);
+}
+
+TEST(Prng, SplitStreamsAreIndependent)
+{
+    Prng parent(19);
+    Prng child_a = parent.split();
+    Prng child_b = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += child_a.next_u64() == child_b.next_u64();
+    EXPECT_LE(equal, 1);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+#include "util/stats.hpp"
+
+#include "util/contract.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace inframe::util;
+
+TEST(RunningStats, EmptyIsWellDefined)
+{
+    Running_stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStats, SingleSample)
+{
+    Running_stats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    Running_stats s;
+    const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    s.add(xs);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 = 7: sum of squared deviations is 32.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MatchesGaussianMoments)
+{
+    Prng prng(77);
+    Running_stats s;
+    for (int i = 0; i < 100'000; ++i) s.add(prng.next_gaussian(10.0, 3.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples)
+{
+    Prng prng(78);
+    Running_stats small;
+    Running_stats large;
+    for (int i = 0; i < 100; ++i) small.add(prng.next_gaussian());
+    for (int i = 0; i < 10'000; ++i) large.add(prng.next_gaussian());
+    EXPECT_LT(large.ci95_halfwidth(), small.ci95_halfwidth());
+}
+
+TEST(RunningStats, ResetClears)
+{
+    Running_stats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, CountsFallInCorrectBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(5.0);
+    EXPECT_EQ(h.count_in_bin(0), 1u);
+    EXPECT_EQ(h.count_in_bin(9), 1u);
+    EXPECT_EQ(h.count_in_bin(5), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeCountsTowardTotalOnly)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(5.0);
+    EXPECT_EQ(h.total(), 2u);
+    for (std::size_t i = 0; i < h.bin_count(); ++i) EXPECT_EQ(h.count_in_bin(i), 0u);
+}
+
+TEST(Histogram, QuantileOfUniformData)
+{
+    Prng prng(79);
+    Histogram h(0.0, 1.0, 100);
+    for (int i = 0; i < 100'000; ++i) h.add(prng.next_double());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, InvalidConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 0.0, 4), Contract_violation);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), Contract_violation);
+}
+
+TEST(Histogram, BinCenter)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Median, OddAndEvenSizes)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+}
+
+TEST(Median, EmptyThrows)
+{
+    EXPECT_THROW(median({}), Contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+#include "video/playback.hpp"
+
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace inframe::video;
+using inframe::util::Contract_violation;
+
+TEST(PlaybackSchedule, PaperRigIsFourRepeats)
+{
+    Playback_schedule schedule; // 120 / 30
+    EXPECT_EQ(schedule.repeats_per_video_frame(), 4);
+}
+
+TEST(PlaybackSchedule, MapsDisplayToVideoFrames)
+{
+    Playback_schedule schedule;
+    EXPECT_EQ(schedule.video_frame_for_display(0), 0);
+    EXPECT_EQ(schedule.video_frame_for_display(3), 0);
+    EXPECT_EQ(schedule.video_frame_for_display(4), 1);
+    EXPECT_EQ(schedule.video_frame_for_display(119), 29);
+}
+
+TEST(PlaybackSchedule, SixtyHzDisplay)
+{
+    Playback_schedule schedule{.display_fps = 60.0, .video_fps = 30.0};
+    EXPECT_EQ(schedule.repeats_per_video_frame(), 2);
+    EXPECT_EQ(schedule.video_frame_for_display(5), 2);
+}
+
+TEST(PlaybackSchedule, NonIntegerRatioRejected)
+{
+    Playback_schedule schedule{.display_fps = 100.0, .video_fps = 30.0};
+    EXPECT_THROW(schedule.repeats_per_video_frame(), Contract_violation);
+}
+
+TEST(PlaybackSchedule, DisplayTime)
+{
+    Playback_schedule schedule;
+    EXPECT_DOUBLE_EQ(schedule.display_time(0), 0.0);
+    EXPECT_DOUBLE_EQ(schedule.display_time(120), 1.0);
+    EXPECT_THROW(schedule.display_time(-1), Contract_violation);
+}
+
+TEST(StandardVideos, PaperLevels)
+{
+    const auto gray = make_gray_video(32, 18);
+    const auto dark = make_dark_gray_video(32, 18);
+    EXPECT_EQ(gray->frame(0)(0, 0), 180.0f);
+    EXPECT_EQ(dark->frame(0)(0, 0), 127.0f);
+    EXPECT_DOUBLE_EQ(gray->fps(), 30.0);
+}
+
+TEST(StandardVideos, SunriseIsCachedAndSized)
+{
+    const auto sunrise = make_sunrise_video(64, 36);
+    EXPECT_EQ(sunrise->width(), 64);
+    EXPECT_EQ(sunrise->height(), 36);
+    EXPECT_EQ(sunrise->name(), "sunrise");
+}
+
+} // namespace

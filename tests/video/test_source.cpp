@@ -1,0 +1,288 @@
+#include "video/source.hpp"
+
+#include "imgproc/image_ops.hpp"
+#include "imgproc/io.hpp"
+#include "imgproc/metrics.hpp"
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace {
+
+using namespace inframe::video;
+using inframe::img::Imagef;
+using inframe::util::Contract_violation;
+
+TEST(SolidVideo, UniformLevel)
+{
+    Solid_video v(32, 24, 180.0f);
+    const Imagef frame = v.frame(0);
+    EXPECT_EQ(frame.width(), 32);
+    EXPECT_EQ(frame.height(), 24);
+    for (const float px : frame.values()) EXPECT_EQ(px, 180.0f);
+}
+
+TEST(SolidVideo, NameEncodesLevel)
+{
+    Solid_video v(8, 8, 127.0f);
+    EXPECT_EQ(v.name(), "solid-127");
+}
+
+TEST(SolidVideo, Validation)
+{
+    EXPECT_THROW(Solid_video(0, 8, 1.0f), Contract_violation);
+    EXPECT_THROW(Solid_video(8, 8, 1.0f, 0.0), Contract_violation);
+    Solid_video v(8, 8, 1.0f);
+    EXPECT_THROW(v.frame(-1), Contract_violation);
+}
+
+TEST(StillVideo, RepeatsTheImage)
+{
+    Imagef image(8, 8, 1, 33.0f);
+    Still_video v(std::move(image), "card");
+    const Imagef f0 = v.frame(0);
+    const Imagef f100 = v.frame(100);
+    EXPECT_DOUBLE_EQ(inframe::img::mae(f0, f100), 0.0);
+    EXPECT_EQ(v.name(), "card");
+}
+
+TEST(SunriseVideo, DeterministicPerIndex)
+{
+    Sunrise_video v(64, 48, 30.0, 5);
+    const Imagef a = v.frame(10);
+    const Imagef b = v.frame(10);
+    EXPECT_DOUBLE_EQ(inframe::img::mae(a, b), 0.0);
+}
+
+TEST(SunriseVideo, FramesEvolveOverTime)
+{
+    Sunrise_video v(64, 48, 30.0, 5);
+    const Imagef early = v.frame(0);
+    const Imagef late = v.frame(600); // 20 seconds in
+    EXPECT_GT(inframe::img::mae(early, late), 5.0);
+}
+
+TEST(SunriseVideo, BrightensAsTheSunRises)
+{
+    Sunrise_video v(64, 48, 30.0, 5);
+    const double early = inframe::img::mean(v.frame(0));
+    const double late = inframe::img::mean(v.frame(900));
+    EXPECT_GT(late, early + 20.0);
+}
+
+TEST(SunriseVideo, CoversWideLuminanceRange)
+{
+    Sunrise_video v(96, 54, 30.0, 5);
+    const auto [lo, hi] = inframe::img::min_max(v.frame(450));
+    EXPECT_LT(lo, 60.0f);  // dark foreground
+    EXPECT_GT(hi, 200.0f); // sun
+}
+
+TEST(SunriseVideo, HasTexturedForeground)
+{
+    Sunrise_video v(96, 54, 30.0, 5);
+    const Imagef frame = v.frame(300);
+    // Foreground occupies the bottom ~38%; texture -> local variance.
+    const int y0 = static_cast<int>(0.7 * frame.height());
+    double dev = 0.0;
+    int count = 0;
+    const double m = inframe::img::mean_region(frame, 0, y0, frame.width(), frame.height() - y0);
+    for (int y = y0; y < frame.height(); ++y) {
+        for (int x = 0; x < frame.width(); ++x) {
+            dev += std::abs(frame(x, y) - m);
+            ++count;
+        }
+    }
+    EXPECT_GT(dev / count, 3.0);
+}
+
+TEST(SunriseVideo, SeedChangesScene)
+{
+    Sunrise_video a(64, 48, 30.0, 5);
+    Sunrise_video b(64, 48, 30.0, 6);
+    EXPECT_GT(inframe::img::mae(a.frame(100), b.frame(100)), 0.5);
+}
+
+TEST(MovingBars, BarsMoveAtConfiguredSpeed)
+{
+    Moving_bars_video v(64, 8, 8, 2.0f);
+    const Imagef f0 = v.frame(0);
+    const Imagef f4 = v.frame(4); // bars shifted by 8 px = one bar width
+    for (int x = 0; x < 56; ++x) {
+        EXPECT_EQ(f4(x, 0), f0(x + 8, 0));
+    }
+}
+
+TEST(MovingBars, TwoLevelsOnly)
+{
+    Moving_bars_video v(32, 8, 4, 1.0f, 30.0, 10.0f, 20.0f);
+    const Imagef f = v.frame(3);
+    for (const float px : f.values()) EXPECT_TRUE(px == 10.0f || px == 20.0f);
+}
+
+TEST(NoiseVideo, MatchesRequestedMoments)
+{
+    Noise_video v(128, 128, 128.0f, 10.0f);
+    const Imagef f = v.frame(0);
+    inframe::util::Running_stats stats;
+    for (const float px : f.values()) stats.add(px);
+    EXPECT_NEAR(stats.mean(), 128.0, 1.0);
+    EXPECT_NEAR(stats.stddev(), 10.0, 1.0);
+}
+
+TEST(NoiseVideo, FramesAreIndependentButReproducible)
+{
+    Noise_video v(32, 32, 128.0f, 10.0f, 30.0, 77);
+    EXPECT_GT(inframe::img::mae(v.frame(0), v.frame(1)), 5.0);
+    Noise_video w(32, 32, 128.0f, 10.0f, 30.0, 77);
+    EXPECT_DOUBLE_EQ(inframe::img::mae(v.frame(3), w.frame(3)), 0.0);
+}
+
+TEST(CachedVideo, ReturnsSameFrames)
+{
+    auto inner = std::make_shared<Sunrise_video>(48, 32, 30.0, 5);
+    Cached_video cached(inner);
+    EXPECT_DOUBLE_EQ(inframe::img::mae(cached.frame(7), inner->frame(7)), 0.0);
+    // Second request hits the cache and must be identical.
+    EXPECT_DOUBLE_EQ(inframe::img::mae(cached.frame(7), inner->frame(7)), 0.0);
+    EXPECT_EQ(cached.width(), 48);
+    EXPECT_EQ(cached.name(), "sunrise");
+}
+
+TEST(CachedVideo, Validation)
+{
+    EXPECT_THROW(Cached_video(nullptr), Contract_violation);
+    auto inner = std::make_shared<Solid_video>(8, 8, 1.0f);
+    EXPECT_THROW(Cached_video(inner, 0), Contract_violation);
+}
+
+TEST(SlideshowVideo, CutsHappenExactlyAtHoldBoundaries)
+{
+    Slideshow_video v(96, 54, 30);
+    // Within a slide: identical frames.
+    EXPECT_DOUBLE_EQ(inframe::img::mae(v.frame(0), v.frame(29)), 0.0);
+    // Across the cut: a different composition.
+    EXPECT_GT(inframe::img::mae(v.frame(29), v.frame(30)), 5.0);
+}
+
+TEST(SlideshowVideo, DeterministicPerSeed)
+{
+    Slideshow_video a(96, 54, 30, 30.0, 7);
+    Slideshow_video b(96, 54, 30, 30.0, 7);
+    Slideshow_video c(96, 54, 30, 30.0, 8);
+    EXPECT_DOUBLE_EQ(inframe::img::mae(a.frame(45), b.frame(45)), 0.0);
+    EXPECT_GT(inframe::img::mae(a.frame(45), c.frame(45)), 1.0);
+}
+
+TEST(SlideshowVideo, Validation)
+{
+    EXPECT_THROW(Slideshow_video(96, 54, 0), Contract_violation);
+}
+
+TEST(TickerVideo, TextScrollsLeft)
+{
+    Ticker_video v(192, 54, "GOAL 2-1", 2.0f);
+    // Frame 0 starts with the text just off the right edge; compare two
+    // frames where the whole string is on screen.
+    const Imagef f0 = v.frame(50);
+    const Imagef f10 = v.frame(60); // 20 px later
+    // Ink must exist and move: frames differ, backgrounds dominate.
+    EXPECT_GT(inframe::img::mae(f0, f10), 0.01);
+    int ink0 = 0;
+    for (const float px : f0.values()) ink0 += px > 200.0f;
+    int ink10 = 0;
+    for (const float px : f10.values()) ink10 += px > 200.0f;
+    EXPECT_GT(ink10, 0);
+    // The glyph area is roughly conserved while fully on-screen.
+    EXPECT_NEAR(ink0, ink10, ink0 / 2 + 8);
+}
+
+TEST(TickerVideo, WrapsAround)
+{
+    Ticker_video v(96, 54, "NEWS", 4.0f);
+    // One full cycle: 96 + 4 glyphs * 12 px = 144 px -> 36 frames.
+    const Imagef f0 = v.frame(0);
+    const Imagef f_cycle = v.frame(36);
+    EXPECT_LT(inframe::img::mae(f0, f_cycle), 0.5);
+}
+
+TEST(TickerVideo, Validation)
+{
+    EXPECT_THROW(Ticker_video(96, 54, "", 1.0f), Contract_violation);
+}
+
+TEST(ImageSequenceVideo, LoadsAndLoopsRecordedFrames)
+{
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() / "inframe_seq_test";
+    fs::create_directories(dir);
+    std::vector<std::string> paths;
+    for (int i = 0; i < 3; ++i) {
+        Imagef frame(24, 16, 1, static_cast<float>(40 * (i + 1)));
+        const auto path = (dir / ("frame_" + std::to_string(i) + ".pgm")).string();
+        inframe::img::write_pnm(frame, path);
+        paths.push_back(path);
+    }
+    Image_sequence_video v(paths, 24.0);
+    EXPECT_EQ(v.frame_count(), 3u);
+    EXPECT_EQ(v.width(), 24);
+    EXPECT_DOUBLE_EQ(v.fps(), 24.0);
+    EXPECT_NEAR(v.frame(1)(0, 0), 80.0f, 0.5f);
+    // Loops past the end.
+    EXPECT_NEAR(v.frame(4)(0, 0), 80.0f, 0.5f);
+    for (const auto& p : paths) fs::remove(p);
+}
+
+TEST(ImageSequenceVideo, RejectsMismatchedShapes)
+{
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() / "inframe_seq_test";
+    fs::create_directories(dir);
+    const auto a = (dir / "a.pgm").string();
+    const auto b = (dir / "b.pgm").string();
+    inframe::img::write_pnm(Imagef(24, 16, 1, 10.0f), a);
+    inframe::img::write_pnm(Imagef(20, 16, 1, 10.0f), b);
+    EXPECT_THROW(Image_sequence_video({a, b}), Contract_violation);
+    fs::remove(a);
+    fs::remove(b);
+}
+
+TEST(ImageSequenceVideo, Validation)
+{
+    EXPECT_THROW(Image_sequence_video({}), Contract_violation);
+}
+
+TEST(ValueNoise, DeterministicAndBounded)
+{
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.37;
+        const double y = i * 0.91;
+        const double v = value_noise(x, y, 3);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        EXPECT_DOUBLE_EQ(v, value_noise(x, y, 3));
+    }
+}
+
+TEST(ValueNoise, ContinuousAcrossLatticeCells)
+{
+    // Values just either side of a lattice line should be close.
+    const double a = value_noise(2.999, 5.5, 11);
+    const double b = value_noise(3.001, 5.5, 11);
+    EXPECT_NEAR(a, b, 0.02);
+}
+
+TEST(FractalNoise, BoundedAndOctaveValidation)
+{
+    EXPECT_THROW(fractal_noise(0.0, 0.0, 1, 0), Contract_violation);
+    for (int i = 0; i < 20; ++i) {
+        const double v = fractal_noise(i * 0.31, i * 0.17, 1, 4);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+} // namespace
