@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_channel_robustness.dir/bench_channel_robustness.cpp.o"
+  "CMakeFiles/bench_channel_robustness.dir/bench_channel_robustness.cpp.o.d"
+  "bench_channel_robustness"
+  "bench_channel_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_channel_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_naive_designs.dir/bench_fig3_naive_designs.cpp.o"
+  "CMakeFiles/bench_fig3_naive_designs.dir/bench_fig3_naive_designs.cpp.o.d"
+  "bench_fig3_naive_designs"
+  "bench_fig3_naive_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_naive_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_complementary.dir/bench_fig4_complementary.cpp.o"
+  "CMakeFiles/bench_fig4_complementary.dir/bench_fig4_complementary.cpp.o.d"
+  "bench_fig4_complementary"
+  "bench_fig4_complementary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_complementary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

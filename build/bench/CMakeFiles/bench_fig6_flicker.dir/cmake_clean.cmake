@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_flicker.dir/bench_fig6_flicker.cpp.o"
+  "CMakeFiles/bench_fig6_flicker.dir/bench_fig6_flicker.cpp.o.d"
+  "bench_fig6_flicker"
+  "bench_fig6_flicker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_flicker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pareto_tradeoff.dir/bench_pareto_tradeoff.cpp.o"
+  "CMakeFiles/bench_pareto_tradeoff.dir/bench_pareto_tradeoff.cpp.o.d"
+  "bench_pareto_tradeoff"
+  "bench_pareto_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pareto_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

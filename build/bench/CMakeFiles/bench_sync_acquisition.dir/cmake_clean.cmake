@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sync_acquisition.dir/bench_sync_acquisition.cpp.o"
+  "CMakeFiles/bench_sync_acquisition.dir/bench_sync_acquisition.cpp.o.d"
+  "bench_sync_acquisition"
+  "bench_sync_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupon_broadcast.dir/coupon_broadcast.cpp.o"
+  "CMakeFiles/coupon_broadcast.dir/coupon_broadcast.cpp.o.d"
+  "coupon_broadcast"
+  "coupon_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupon_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

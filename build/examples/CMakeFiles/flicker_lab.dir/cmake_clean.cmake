@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_lab.dir/flicker_lab.cpp.o"
+  "CMakeFiles/flicker_lab.dir/flicker_lab.cpp.o.d"
+  "flicker_lab"
+  "flicker_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/inframe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/inframe_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/hvs/CMakeFiles/inframe_hvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/inframe_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/inframe_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/inframe_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/inframe_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sports_ticker.dir/sports_ticker.cpp.o"
+  "CMakeFiles/sports_ticker.dir/sports_ticker.cpp.o.d"
+  "sports_ticker"
+  "sports_ticker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sports_ticker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/barcode.cpp" "src/baseline/CMakeFiles/inframe_baseline.dir/barcode.cpp.o" "gcc" "src/baseline/CMakeFiles/inframe_baseline.dir/barcode.cpp.o.d"
+  "/root/repo/src/baseline/naive.cpp" "src/baseline/CMakeFiles/inframe_baseline.dir/naive.cpp.o" "gcc" "src/baseline/CMakeFiles/inframe_baseline.dir/naive.cpp.o.d"
+  "/root/repo/src/baseline/steganography.cpp" "src/baseline/CMakeFiles/inframe_baseline.dir/steganography.cpp.o" "gcc" "src/baseline/CMakeFiles/inframe_baseline.dir/steganography.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/inframe_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/inframe_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inframe_baseline.dir/barcode.cpp.o"
+  "CMakeFiles/inframe_baseline.dir/barcode.cpp.o.d"
+  "CMakeFiles/inframe_baseline.dir/naive.cpp.o"
+  "CMakeFiles/inframe_baseline.dir/naive.cpp.o.d"
+  "CMakeFiles/inframe_baseline.dir/steganography.cpp.o"
+  "CMakeFiles/inframe_baseline.dir/steganography.cpp.o.d"
+  "libinframe_baseline.a"
+  "libinframe_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inframe_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/camera.cpp" "src/channel/CMakeFiles/inframe_channel.dir/camera.cpp.o" "gcc" "src/channel/CMakeFiles/inframe_channel.dir/camera.cpp.o.d"
+  "/root/repo/src/channel/display.cpp" "src/channel/CMakeFiles/inframe_channel.dir/display.cpp.o" "gcc" "src/channel/CMakeFiles/inframe_channel.dir/display.cpp.o.d"
+  "/root/repo/src/channel/link.cpp" "src/channel/CMakeFiles/inframe_channel.dir/link.cpp.o" "gcc" "src/channel/CMakeFiles/inframe_channel.dir/link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

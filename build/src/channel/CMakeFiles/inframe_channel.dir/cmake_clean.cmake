@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inframe_channel.dir/camera.cpp.o"
+  "CMakeFiles/inframe_channel.dir/camera.cpp.o.d"
+  "CMakeFiles/inframe_channel.dir/display.cpp.o"
+  "CMakeFiles/inframe_channel.dir/display.cpp.o.d"
+  "CMakeFiles/inframe_channel.dir/link.cpp.o"
+  "CMakeFiles/inframe_channel.dir/link.cpp.o.d"
+  "libinframe_channel.a"
+  "libinframe_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inframe_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/chessboard.cpp" "src/coding/CMakeFiles/inframe_coding.dir/chessboard.cpp.o" "gcc" "src/coding/CMakeFiles/inframe_coding.dir/chessboard.cpp.o.d"
+  "/root/repo/src/coding/framing.cpp" "src/coding/CMakeFiles/inframe_coding.dir/framing.cpp.o" "gcc" "src/coding/CMakeFiles/inframe_coding.dir/framing.cpp.o.d"
+  "/root/repo/src/coding/geometry.cpp" "src/coding/CMakeFiles/inframe_coding.dir/geometry.cpp.o" "gcc" "src/coding/CMakeFiles/inframe_coding.dir/geometry.cpp.o.d"
+  "/root/repo/src/coding/interleaver.cpp" "src/coding/CMakeFiles/inframe_coding.dir/interleaver.cpp.o" "gcc" "src/coding/CMakeFiles/inframe_coding.dir/interleaver.cpp.o.d"
+  "/root/repo/src/coding/parity.cpp" "src/coding/CMakeFiles/inframe_coding.dir/parity.cpp.o" "gcc" "src/coding/CMakeFiles/inframe_coding.dir/parity.cpp.o.d"
+  "/root/repo/src/coding/reed_solomon.cpp" "src/coding/CMakeFiles/inframe_coding.dir/reed_solomon.cpp.o" "gcc" "src/coding/CMakeFiles/inframe_coding.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

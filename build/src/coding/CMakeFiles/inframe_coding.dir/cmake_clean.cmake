@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inframe_coding.dir/chessboard.cpp.o"
+  "CMakeFiles/inframe_coding.dir/chessboard.cpp.o.d"
+  "CMakeFiles/inframe_coding.dir/framing.cpp.o"
+  "CMakeFiles/inframe_coding.dir/framing.cpp.o.d"
+  "CMakeFiles/inframe_coding.dir/geometry.cpp.o"
+  "CMakeFiles/inframe_coding.dir/geometry.cpp.o.d"
+  "CMakeFiles/inframe_coding.dir/interleaver.cpp.o"
+  "CMakeFiles/inframe_coding.dir/interleaver.cpp.o.d"
+  "CMakeFiles/inframe_coding.dir/parity.cpp.o"
+  "CMakeFiles/inframe_coding.dir/parity.cpp.o.d"
+  "CMakeFiles/inframe_coding.dir/reed_solomon.cpp.o"
+  "CMakeFiles/inframe_coding.dir/reed_solomon.cpp.o.d"
+  "libinframe_coding.a"
+  "libinframe_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inframe_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

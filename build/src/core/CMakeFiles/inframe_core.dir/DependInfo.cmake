@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/inframe_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/inframe_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/inframe_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/inframe_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/decoder.cpp" "src/core/CMakeFiles/inframe_core.dir/decoder.cpp.o" "gcc" "src/core/CMakeFiles/inframe_core.dir/decoder.cpp.o.d"
+  "/root/repo/src/core/encoder.cpp" "src/core/CMakeFiles/inframe_core.dir/encoder.cpp.o" "gcc" "src/core/CMakeFiles/inframe_core.dir/encoder.cpp.o.d"
+  "/root/repo/src/core/link_runner.cpp" "src/core/CMakeFiles/inframe_core.dir/link_runner.cpp.o" "gcc" "src/core/CMakeFiles/inframe_core.dir/link_runner.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/inframe_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/inframe_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/sync.cpp" "src/core/CMakeFiles/inframe_core.dir/sync.cpp.o" "gcc" "src/core/CMakeFiles/inframe_core.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coding/CMakeFiles/inframe_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/inframe_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hvs/CMakeFiles/inframe_hvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/inframe_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/inframe_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inframe_core.dir/calibration.cpp.o"
+  "CMakeFiles/inframe_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/inframe_core.dir/config.cpp.o"
+  "CMakeFiles/inframe_core.dir/config.cpp.o.d"
+  "CMakeFiles/inframe_core.dir/decoder.cpp.o"
+  "CMakeFiles/inframe_core.dir/decoder.cpp.o.d"
+  "CMakeFiles/inframe_core.dir/encoder.cpp.o"
+  "CMakeFiles/inframe_core.dir/encoder.cpp.o.d"
+  "CMakeFiles/inframe_core.dir/link_runner.cpp.o"
+  "CMakeFiles/inframe_core.dir/link_runner.cpp.o.d"
+  "CMakeFiles/inframe_core.dir/session.cpp.o"
+  "CMakeFiles/inframe_core.dir/session.cpp.o.d"
+  "CMakeFiles/inframe_core.dir/sync.cpp.o"
+  "CMakeFiles/inframe_core.dir/sync.cpp.o.d"
+  "libinframe_core.a"
+  "libinframe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inframe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inframe_dsp.dir/envelope.cpp.o"
+  "CMakeFiles/inframe_dsp.dir/envelope.cpp.o.d"
+  "CMakeFiles/inframe_dsp.dir/filter.cpp.o"
+  "CMakeFiles/inframe_dsp.dir/filter.cpp.o.d"
+  "CMakeFiles/inframe_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/inframe_dsp.dir/spectrum.cpp.o.d"
+  "libinframe_dsp.a"
+  "libinframe_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inframe_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

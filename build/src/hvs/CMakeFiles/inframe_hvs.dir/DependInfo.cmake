@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hvs/flicker.cpp" "src/hvs/CMakeFiles/inframe_hvs.dir/flicker.cpp.o" "gcc" "src/hvs/CMakeFiles/inframe_hvs.dir/flicker.cpp.o.d"
+  "/root/repo/src/hvs/observer.cpp" "src/hvs/CMakeFiles/inframe_hvs.dir/observer.cpp.o" "gcc" "src/hvs/CMakeFiles/inframe_hvs.dir/observer.cpp.o.d"
+  "/root/repo/src/hvs/temporal_model.cpp" "src/hvs/CMakeFiles/inframe_hvs.dir/temporal_model.cpp.o" "gcc" "src/hvs/CMakeFiles/inframe_hvs.dir/temporal_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/inframe_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inframe_hvs.dir/flicker.cpp.o"
+  "CMakeFiles/inframe_hvs.dir/flicker.cpp.o.d"
+  "CMakeFiles/inframe_hvs.dir/observer.cpp.o"
+  "CMakeFiles/inframe_hvs.dir/observer.cpp.o.d"
+  "CMakeFiles/inframe_hvs.dir/temporal_model.cpp.o"
+  "CMakeFiles/inframe_hvs.dir/temporal_model.cpp.o.d"
+  "libinframe_hvs.a"
+  "libinframe_hvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inframe_hvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imgproc/draw.cpp" "src/imgproc/CMakeFiles/inframe_imgproc.dir/draw.cpp.o" "gcc" "src/imgproc/CMakeFiles/inframe_imgproc.dir/draw.cpp.o.d"
+  "/root/repo/src/imgproc/filter.cpp" "src/imgproc/CMakeFiles/inframe_imgproc.dir/filter.cpp.o" "gcc" "src/imgproc/CMakeFiles/inframe_imgproc.dir/filter.cpp.o.d"
+  "/root/repo/src/imgproc/image_ops.cpp" "src/imgproc/CMakeFiles/inframe_imgproc.dir/image_ops.cpp.o" "gcc" "src/imgproc/CMakeFiles/inframe_imgproc.dir/image_ops.cpp.o.d"
+  "/root/repo/src/imgproc/io.cpp" "src/imgproc/CMakeFiles/inframe_imgproc.dir/io.cpp.o" "gcc" "src/imgproc/CMakeFiles/inframe_imgproc.dir/io.cpp.o.d"
+  "/root/repo/src/imgproc/metrics.cpp" "src/imgproc/CMakeFiles/inframe_imgproc.dir/metrics.cpp.o" "gcc" "src/imgproc/CMakeFiles/inframe_imgproc.dir/metrics.cpp.o.d"
+  "/root/repo/src/imgproc/resize.cpp" "src/imgproc/CMakeFiles/inframe_imgproc.dir/resize.cpp.o" "gcc" "src/imgproc/CMakeFiles/inframe_imgproc.dir/resize.cpp.o.d"
+  "/root/repo/src/imgproc/warp.cpp" "src/imgproc/CMakeFiles/inframe_imgproc.dir/warp.cpp.o" "gcc" "src/imgproc/CMakeFiles/inframe_imgproc.dir/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

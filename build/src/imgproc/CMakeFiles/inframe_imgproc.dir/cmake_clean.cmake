@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inframe_imgproc.dir/draw.cpp.o"
+  "CMakeFiles/inframe_imgproc.dir/draw.cpp.o.d"
+  "CMakeFiles/inframe_imgproc.dir/filter.cpp.o"
+  "CMakeFiles/inframe_imgproc.dir/filter.cpp.o.d"
+  "CMakeFiles/inframe_imgproc.dir/image_ops.cpp.o"
+  "CMakeFiles/inframe_imgproc.dir/image_ops.cpp.o.d"
+  "CMakeFiles/inframe_imgproc.dir/io.cpp.o"
+  "CMakeFiles/inframe_imgproc.dir/io.cpp.o.d"
+  "CMakeFiles/inframe_imgproc.dir/metrics.cpp.o"
+  "CMakeFiles/inframe_imgproc.dir/metrics.cpp.o.d"
+  "CMakeFiles/inframe_imgproc.dir/resize.cpp.o"
+  "CMakeFiles/inframe_imgproc.dir/resize.cpp.o.d"
+  "CMakeFiles/inframe_imgproc.dir/warp.cpp.o"
+  "CMakeFiles/inframe_imgproc.dir/warp.cpp.o.d"
+  "libinframe_imgproc.a"
+  "libinframe_imgproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inframe_imgproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inframe_util.dir/bitstream.cpp.o"
+  "CMakeFiles/inframe_util.dir/bitstream.cpp.o.d"
+  "CMakeFiles/inframe_util.dir/crc32.cpp.o"
+  "CMakeFiles/inframe_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/inframe_util.dir/csv.cpp.o"
+  "CMakeFiles/inframe_util.dir/csv.cpp.o.d"
+  "CMakeFiles/inframe_util.dir/prng.cpp.o"
+  "CMakeFiles/inframe_util.dir/prng.cpp.o.d"
+  "CMakeFiles/inframe_util.dir/stats.cpp.o"
+  "CMakeFiles/inframe_util.dir/stats.cpp.o.d"
+  "libinframe_util.a"
+  "libinframe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inframe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

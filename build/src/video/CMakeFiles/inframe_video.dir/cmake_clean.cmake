@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inframe_video.dir/playback.cpp.o"
+  "CMakeFiles/inframe_video.dir/playback.cpp.o.d"
+  "CMakeFiles/inframe_video.dir/source.cpp.o"
+  "CMakeFiles/inframe_video.dir/source.cpp.o.d"
+  "libinframe_video.a"
+  "libinframe_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inframe_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline.dir/baseline/test_barcode.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_barcode.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_naive.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_naive.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_steganography.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_steganography.cpp.o.d"
+  "test_baseline"
+  "test_baseline.pdb"
+  "test_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

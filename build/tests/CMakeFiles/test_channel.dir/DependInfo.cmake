@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/channel/test_camera.cpp" "tests/CMakeFiles/test_channel.dir/channel/test_camera.cpp.o" "gcc" "tests/CMakeFiles/test_channel.dir/channel/test_camera.cpp.o.d"
+  "/root/repo/tests/channel/test_display.cpp" "tests/CMakeFiles/test_channel.dir/channel/test_display.cpp.o" "gcc" "tests/CMakeFiles/test_channel.dir/channel/test_display.cpp.o.d"
+  "/root/repo/tests/channel/test_link.cpp" "tests/CMakeFiles/test_channel.dir/channel/test_link.cpp.o" "gcc" "tests/CMakeFiles/test_channel.dir/channel/test_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/inframe_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

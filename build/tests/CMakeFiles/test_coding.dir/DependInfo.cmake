@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coding/test_chessboard.cpp" "tests/CMakeFiles/test_coding.dir/coding/test_chessboard.cpp.o" "gcc" "tests/CMakeFiles/test_coding.dir/coding/test_chessboard.cpp.o.d"
+  "/root/repo/tests/coding/test_framing.cpp" "tests/CMakeFiles/test_coding.dir/coding/test_framing.cpp.o" "gcc" "tests/CMakeFiles/test_coding.dir/coding/test_framing.cpp.o.d"
+  "/root/repo/tests/coding/test_geometry.cpp" "tests/CMakeFiles/test_coding.dir/coding/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/test_coding.dir/coding/test_geometry.cpp.o.d"
+  "/root/repo/tests/coding/test_interleaver.cpp" "tests/CMakeFiles/test_coding.dir/coding/test_interleaver.cpp.o" "gcc" "tests/CMakeFiles/test_coding.dir/coding/test_interleaver.cpp.o.d"
+  "/root/repo/tests/coding/test_parity.cpp" "tests/CMakeFiles/test_coding.dir/coding/test_parity.cpp.o" "gcc" "tests/CMakeFiles/test_coding.dir/coding/test_parity.cpp.o.d"
+  "/root/repo/tests/coding/test_reed_solomon.cpp" "tests/CMakeFiles/test_coding.dir/coding/test_reed_solomon.cpp.o" "gcc" "tests/CMakeFiles/test_coding.dir/coding/test_reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coding/CMakeFiles/inframe_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coding.dir/coding/test_chessboard.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/test_chessboard.cpp.o.d"
+  "CMakeFiles/test_coding.dir/coding/test_framing.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/test_framing.cpp.o.d"
+  "CMakeFiles/test_coding.dir/coding/test_geometry.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/test_geometry.cpp.o.d"
+  "CMakeFiles/test_coding.dir/coding/test_interleaver.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/test_interleaver.cpp.o.d"
+  "CMakeFiles/test_coding.dir/coding/test_parity.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/test_parity.cpp.o.d"
+  "CMakeFiles/test_coding.dir/coding/test_reed_solomon.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/test_reed_solomon.cpp.o.d"
+  "test_coding"
+  "test_coding.pdb"
+  "test_coding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_calibration.cpp" "tests/CMakeFiles/test_core.dir/core/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_calibration.cpp.o.d"
+  "/root/repo/tests/core/test_color.cpp" "tests/CMakeFiles/test_core.dir/core/test_color.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_color.cpp.o.d"
+  "/root/repo/tests/core/test_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "/root/repo/tests/core/test_decoder.cpp" "tests/CMakeFiles/test_core.dir/core/test_decoder.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_decoder.cpp.o.d"
+  "/root/repo/tests/core/test_encoder.cpp" "tests/CMakeFiles/test_core.dir/core/test_encoder.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_encoder.cpp.o.d"
+  "/root/repo/tests/core/test_link_runner.cpp" "tests/CMakeFiles/test_core.dir/core/test_link_runner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_link_runner.cpp.o.d"
+  "/root/repo/tests/core/test_perspective.cpp" "tests/CMakeFiles/test_core.dir/core/test_perspective.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_perspective.cpp.o.d"
+  "/root/repo/tests/core/test_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_properties.cpp.o.d"
+  "/root/repo/tests/core/test_session.cpp" "tests/CMakeFiles/test_core.dir/core/test_session.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "/root/repo/tests/core/test_sync.cpp" "tests/CMakeFiles/test_core.dir/core/test_sync.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/inframe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/inframe_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/inframe_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hvs/CMakeFiles/inframe_hvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/inframe_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/inframe_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

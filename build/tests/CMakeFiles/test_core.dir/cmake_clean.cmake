@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_calibration.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_calibration.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_color.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_color.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_config.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_decoder.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_decoder.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_encoder.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_encoder.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_link_runner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_link_runner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_perspective.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_perspective.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_sync.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_sync.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsp/test_envelope.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_envelope.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_envelope.cpp.o.d"
+  "/root/repo/tests/dsp/test_filter.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_filter.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_filter.cpp.o.d"
+  "/root/repo/tests/dsp/test_spectrum.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_spectrum.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/inframe_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

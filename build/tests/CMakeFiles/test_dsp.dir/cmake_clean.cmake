@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/test_envelope.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_envelope.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_filter.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_filter.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_spectrum.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_spectrum.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hvs/test_flicker.cpp" "tests/CMakeFiles/test_hvs.dir/hvs/test_flicker.cpp.o" "gcc" "tests/CMakeFiles/test_hvs.dir/hvs/test_flicker.cpp.o.d"
+  "/root/repo/tests/hvs/test_observer.cpp" "tests/CMakeFiles/test_hvs.dir/hvs/test_observer.cpp.o" "gcc" "tests/CMakeFiles/test_hvs.dir/hvs/test_observer.cpp.o.d"
+  "/root/repo/tests/hvs/test_temporal_model.cpp" "tests/CMakeFiles/test_hvs.dir/hvs/test_temporal_model.cpp.o" "gcc" "tests/CMakeFiles/test_hvs.dir/hvs/test_temporal_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hvs/CMakeFiles/inframe_hvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/inframe_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

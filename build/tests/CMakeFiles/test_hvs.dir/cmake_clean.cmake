@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hvs.dir/hvs/test_flicker.cpp.o"
+  "CMakeFiles/test_hvs.dir/hvs/test_flicker.cpp.o.d"
+  "CMakeFiles/test_hvs.dir/hvs/test_observer.cpp.o"
+  "CMakeFiles/test_hvs.dir/hvs/test_observer.cpp.o.d"
+  "CMakeFiles/test_hvs.dir/hvs/test_temporal_model.cpp.o"
+  "CMakeFiles/test_hvs.dir/hvs/test_temporal_model.cpp.o.d"
+  "test_hvs"
+  "test_hvs.pdb"
+  "test_hvs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/imgproc/test_draw.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_draw.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_draw.cpp.o.d"
+  "/root/repo/tests/imgproc/test_filter.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_filter.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_filter.cpp.o.d"
+  "/root/repo/tests/imgproc/test_image.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_image.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_image.cpp.o.d"
+  "/root/repo/tests/imgproc/test_image_ops.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_image_ops.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_image_ops.cpp.o.d"
+  "/root/repo/tests/imgproc/test_io.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_io.cpp.o.d"
+  "/root/repo/tests/imgproc/test_metrics.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_metrics.cpp.o.d"
+  "/root/repo/tests/imgproc/test_resize.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_resize.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_resize.cpp.o.d"
+  "/root/repo/tests/imgproc/test_warp.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_warp.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/test_warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imgproc/CMakeFiles/inframe_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imgproc.dir/imgproc/test_draw.cpp.o"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_draw.cpp.o.d"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_filter.cpp.o"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_filter.cpp.o.d"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_image.cpp.o"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_image.cpp.o.d"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_image_ops.cpp.o"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_image_ops.cpp.o.d"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_io.cpp.o"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_io.cpp.o.d"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_metrics.cpp.o"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_metrics.cpp.o.d"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_resize.cpp.o"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_resize.cpp.o.d"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_warp.cpp.o"
+  "CMakeFiles/test_imgproc.dir/imgproc/test_warp.cpp.o.d"
+  "test_imgproc"
+  "test_imgproc.pdb"
+  "test_imgproc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imgproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_imgproc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_bitstream.cpp" "tests/CMakeFiles/test_util.dir/util/test_bitstream.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_bitstream.cpp.o.d"
+  "/root/repo/tests/util/test_crc32.cpp" "tests/CMakeFiles/test_util.dir/util/test_crc32.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_crc32.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_prng.cpp" "tests/CMakeFiles/test_util.dir/util/test_prng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_prng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/inframe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
