@@ -1,0 +1,83 @@
+// Parallel scaling — end-to-end simulation throughput vs thread count.
+//
+// Runs the same link experiment (encoder -> display -> rolling-shutter
+// camera -> decoder) at 1, 2, 4 and hardware_concurrency threads and
+// reports wall-clock time, simulated-seconds-per-second and speedup over
+// the serial run. Because the execution layer is deterministic by
+// construction, the decoded results are also cross-checked: every thread
+// count must reproduce the serial goodput bit for bit, so the table proves
+// both the speedup and that it cost nothing in fidelity.
+//
+// On a single-core builder the speedup column will sit near 1.0x — the
+// interesting output there is that oversubscription does not corrupt or
+// meaningfully slow the pipeline.
+
+#include "bench_common.hpp"
+#include "core/link_runner.hpp"
+#include "util/thread_pool.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+int main(int argc, char** argv)
+{
+    using namespace inframe;
+    const auto scale = bench::parse_scale(argc, argv);
+    const double duration = bench::scale_duration(scale, 0.5, 2.0, 6.0);
+
+    bench::print_header(
+        "Parallel scaling: link-experiment throughput vs thread count",
+        "deterministic row-parallel pipeline; identical decoded output at every "
+        "thread count");
+
+    constexpr int width = 960;
+    constexpr int height = 540;
+
+    auto make_config = [&](int threads) {
+        core::Link_experiment_config config;
+        config.video = video::make_sunrise_video(width, height);
+        config.inframe = core::paper_config(width, height);
+        config.inframe.tau = 12;
+        config.camera.shot_noise_scale = 0.2;
+        config.camera.read_noise_sigma = 1.5;
+        config.camera.quantize = true;
+        config.duration_s = duration;
+        config.threads = threads;
+        return config;
+    };
+
+    const int hw = util::Thread_pool::hardware_threads();
+    std::printf("hardware concurrency: %d\n\n", hw);
+    std::set<int> counts = {1, 2, 4, hw};
+
+    util::Table table({"threads", "wall s", "sim s / wall s", "speedup vs serial",
+                       "goodput kbps", "matches serial"});
+
+    double serial_wall = 0.0;
+    double serial_goodput = 0.0;
+    for (const int threads : counts) {
+        const auto config = make_config(threads);
+        const auto start = std::chrono::steady_clock::now();
+        const auto result = core::run_link_experiment(config);
+        const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+        if (threads == 1) {
+            serial_wall = wall.count();
+            serial_goodput = result.goodput_kbps;
+        }
+        const bool matches = result.goodput_kbps == serial_goodput;
+        table.add_row({static_cast<long long>(threads), wall.count(),
+                       duration / wall.count(),
+                       serial_wall > 0.0 ? serial_wall / wall.count() : 1.0,
+                       result.goodput_kbps, std::string(matches ? "yes" : "NO")});
+        std::printf("  done: threads=%d in %.2f s (goodput %.2f kbps%s)\n", threads,
+                    wall.count(), result.goodput_kbps,
+                    matches ? "" : " — MISMATCH vs serial");
+    }
+
+    std::printf("\n");
+    bench::print_table(table);
+    std::printf("run with --full for longer (more stable) runs, --quick for a sanity pass.\n");
+    return 0;
+}

@@ -9,6 +9,7 @@
 #include "channel/link.hpp"
 #include "core/session.hpp"
 #include "util/prng.hpp"
+#include "util/thread_pool.hpp"
 #include "video/playback.hpp"
 
 #include <cstdio>
@@ -26,6 +27,8 @@ int main()
     // geometry's 1-px Pixels; use 2-px Pixels instead (fewer, larger blocks).
     config.geometry = coding::fitted_geometry(width, height, /*pixel_size=*/2);
     config.tau = 10; // the paper's highest-throughput setting
+    config.threads = 0; // all cores; output is thread-count invariant
+    const util::Parallel_scope parallel_scope(config.threads);
 
     const std::string coupon =
         "COUPON:SUNRISE-COFFEE-20-OFF|https://example.com/r/8f31|valid-until:2014-10-28|"

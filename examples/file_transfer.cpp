@@ -21,6 +21,8 @@ int main()
     core::Inframe_config config = core::paper_config(width, height);
     config.geometry = coding::fitted_geometry(width, height, 2);
     config.tau = 10;
+    config.threads = 0; // all cores; decoded bytes are identical at any count
+    const util::Parallel_scope parallel_scope(config.threads);
 
     // The channel here is clean enough that a third of the codeword in
     // parity suffices; this nearly triples the per-frame payload over the

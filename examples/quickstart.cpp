@@ -7,6 +7,7 @@
 
 #include "channel/link.hpp"
 #include "core/session.hpp"
+#include "util/thread_pool.hpp"
 #include "video/playback.hpp"
 
 #include <cstdio>
@@ -26,6 +27,8 @@ int main()
     config.geometry = coding::fitted_geometry(width, height, /*pixel_size=*/2);
     config.delta = 20.0f; // chessboard amplitude: invisible at tau >= 10
     config.tau = 12;      // display frames per data frame
+    config.threads = 0;   // fan kernels out over all cores (0 = hardware)
+    const util::Parallel_scope parallel_scope(config.threads);
 
     std::printf("InFrame quickstart\n");
     std::printf("  screen      : %dx%d @ %.0f Hz\n", width, height, config.display_fps);

@@ -14,6 +14,7 @@
 #include "core/encoder.hpp"
 #include "core/session.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "video/playback.hpp"
 
 #include <cstdio>
@@ -88,6 +89,8 @@ int main()
     // geometry's 1-px Pixels; use 2-px Pixels instead (fewer, larger blocks).
     config.geometry = coding::fitted_geometry(width, height, /*pixel_size=*/2);
     config.tau = 10;
+    config.threads = 0; // all cores; output is thread-count invariant
+    const util::Parallel_scope parallel_scope(config.threads);
 
     // Fast-panning stadium content is the hard case for the decoder.
     const auto video = std::make_shared<video::Moving_bars_video>(width, height, 40, 3.0f);

@@ -2,10 +2,13 @@
 
 #include "imgproc/filter.hpp"
 #include "imgproc/image_ops.hpp"
+#include "imgproc/pool.hpp"
 #include "imgproc/resize.hpp"
 #include "util/contract.hpp"
+#include "util/thread_pool.hpp"
 
 #include <cmath>
+#include <span>
 
 namespace inframe::channel {
 
@@ -45,13 +48,17 @@ img::Imagef Camera_optics::to_sensor(const img::Imagef& emitted) const
         sensor = img::resize_area(emitted, params_.sensor_width, params_.sensor_height);
         // Sub-pixel misalignment of the projected image.
         if (params_.offset_x_px != 0.0 || params_.offset_y_px != 0.0) {
-            sensor = img::translate(sensor, static_cast<float>(params_.offset_x_px),
-                                    static_cast<float>(params_.offset_y_px));
+            img::Imagef shifted = img::translate(sensor, static_cast<float>(params_.offset_x_px),
+                                                 static_cast<float>(params_.offset_y_px));
+            img::Frame_pool::instance().recycle(std::move(sensor));
+            sensor = std::move(shifted);
         }
     }
     // Lens blur.
     if (params_.optical_blur_sigma > 0.0) {
-        sensor = img::gaussian_blur(sensor, params_.optical_blur_sigma);
+        img::Imagef blurred = img::gaussian_blur(sensor, params_.optical_blur_sigma);
+        img::Frame_pool::instance().recycle(std::move(sensor));
+        sensor = std::move(blurred);
     }
     return sensor;
 }
@@ -74,10 +81,13 @@ Camera_params auto_expose(Camera_params params, double scene_mean_level,
     return params;
 }
 
-void apply_sensor_noise(img::Imagef& integrated, const Camera_params& params, util::Prng& prng)
+namespace {
+
+void sensor_electronics_span(std::span<float> values, const Camera_params& params,
+                             util::Prng& prng)
 {
     const auto gain = static_cast<float>(params.gain);
-    for (auto& v : integrated.values()) {
+    for (auto& v : values) {
         double level = v;
         if (params.shot_noise_scale > 0.0) {
             level += prng.next_gaussian(0.0,
@@ -91,6 +101,49 @@ void apply_sensor_noise(img::Imagef& integrated, const Camera_params& params, ut
         if (params.quantize) level = std::nearbyint(level);
         v = static_cast<float>(level);
     }
+}
+
+std::uint64_t mix64(std::uint64_t x)
+{
+    // splitmix64 finalizer: full-avalanche mixing of the seed words.
+    x += 0x9e37'79b9'7f4a'7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d0'49bb'1331'11ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void apply_sensor_noise(img::Imagef& integrated, const Camera_params& params, util::Prng& prng)
+{
+    sensor_electronics_span(integrated.values(), params, prng);
+}
+
+std::uint64_t row_noise_seed(std::uint64_t seed, std::int64_t capture_index, int row)
+{
+    return mix64(mix64(seed ^ mix64(static_cast<std::uint64_t>(capture_index)))
+                 ^ static_cast<std::uint64_t>(row));
+}
+
+void apply_sensor_noise_rows(img::Imagef& integrated, const Camera_params& params,
+                             std::int64_t capture_index)
+{
+    // Skip the whole pass (not just the draws) when the electronics are an
+    // identity: gain 1 with no noise or quantization leaves the image
+    // untouched either way, and the noiseless configs are the hot ones in
+    // the clean-channel tests/benches.
+    const bool identity = params.shot_noise_scale <= 0.0 && params.read_noise_sigma <= 0.0
+                          && params.gain == 1.0 && !params.quantize;
+    if (identity) {
+        img::clamp(integrated, 0.0f, 255.0f);
+        return;
+    }
+    util::parallel_for(0, integrated.height(), 8, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            util::Prng prng(row_noise_seed(params.seed, capture_index, static_cast<int>(r)));
+            sensor_electronics_span(integrated.row(static_cast<int>(r)), params, prng);
+        }
+    });
 }
 
 } // namespace inframe::channel

@@ -99,6 +99,18 @@ private:
 void apply_sensor_noise(img::Imagef& integrated, const Camera_params& params,
                         util::Prng& prng);
 
+// Per-row variant used by the parallel exposure pipeline: row r of capture
+// k draws from an independent PRNG stream seeded from (seed, k, r), so the
+// noise field is a pure function of the capture — identical for every
+// thread count and for out-of-order row processing. This is the seeding
+// contract the determinism tests rely on (DESIGN.md, "Threading model &
+// determinism").
+void apply_sensor_noise_rows(img::Imagef& integrated, const Camera_params& params,
+                             std::int64_t capture_index);
+
+// The derived seed for one row's noise stream (exposed for tests).
+std::uint64_t row_noise_seed(std::uint64_t seed, std::int64_t capture_index, int row);
+
 // Auto-exposure metering: returns a copy of `params` with exposure_s and
 // gain set the way a phone camera meters a scene of the given mean level.
 //

@@ -1,6 +1,8 @@
 #include "channel/link.hpp"
 
+#include "imgproc/pool.hpp"
 #include "util/contract.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -9,8 +11,7 @@ namespace inframe::channel {
 
 Screen_camera_link::Screen_camera_link(Display_params display, Camera_params camera,
                                        int screen_width, int screen_height)
-    : display_(display), camera_params_(camera), optics_(camera, screen_width, screen_height),
-      noise_(camera.seed)
+    : display_(display), camera_params_(camera), optics_(camera, screen_width, screen_height)
 {
     util::expects(camera.phase_offset_s >= 0.0, "camera phase offset must be non-negative");
 }
@@ -55,29 +56,37 @@ Capture Screen_camera_link::assemble_capture()
     const double exposure = camera_params_.exposure_s;
     const int channels = buffer_.empty() ? 1 : buffer_.front().sensor_image.channels();
 
-    img::Imagef integrated(cols, rows, channels, 0.0f);
-    for (int r = 0; r < rows; ++r) {
-        // Row r starts integrating after its share of the readout skew.
-        const double row_start =
-            capture_start
-            + (rows > 1 ? camera_params_.readout_s * static_cast<double>(r) / (rows - 1) : 0.0);
-        const double row_end = row_start + exposure;
-        auto out_row = integrated.row(r);
-        double covered = 0.0;
-        for (const auto& frame : buffer_) {
-            const double overlap = std::min(frame.end_time, row_end)
-                                   - std::max(frame.start_time, row_start);
-            if (overlap <= 0.0) continue;
-            const auto weight = static_cast<float>(overlap / exposure);
-            covered += overlap;
-            const auto src_row = frame.sensor_image.row(r);
-            for (std::size_t i = 0; i < out_row.size(); ++i) out_row[i] += weight * src_row[i];
+    img::Imagef integrated = img::Frame_pool::instance().acquire(cols, rows, channels, 0.0f);
+    // Rows integrate independently (each owns its exposure window and its
+    // output row), so the rolling-shutter pass parallelizes over row bands.
+    util::parallel_for(0, rows, 8, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t rr = r0; rr < r1; ++rr) {
+            const int r = static_cast<int>(rr);
+            // Row r starts integrating after its share of the readout skew.
+            const double row_start =
+                capture_start
+                + (rows > 1 ? camera_params_.readout_s * static_cast<double>(r) / (rows - 1)
+                            : 0.0);
+            const double row_end = row_start + exposure;
+            auto out_row = integrated.row(r);
+            double covered = 0.0;
+            for (const auto& frame : buffer_) {
+                const double overlap = std::min(frame.end_time, row_end)
+                                       - std::max(frame.start_time, row_start);
+                if (overlap <= 0.0) continue;
+                const auto weight = static_cast<float>(overlap / exposure);
+                covered += overlap;
+                const auto src_row = frame.sensor_image.row(r);
+                for (std::size_t i = 0; i < out_row.size(); ++i) out_row[i] += weight * src_row[i];
+            }
+            util::ensures(covered >= exposure - 1e-9,
+                          "capture exposure window not fully covered by buffered frames");
         }
-        util::ensures(covered >= exposure - 1e-9,
-                      "capture exposure window not fully covered by buffered frames");
-    }
+    });
 
-    apply_sensor_noise(integrated, camera_params_, noise_);
+    // Per-row seeded noise streams: the noise field depends only on
+    // (camera seed, capture index, row), never on thread scheduling.
+    apply_sensor_noise_rows(integrated, camera_params_, capture_index_);
 
     Capture capture;
     capture.image = std::move(integrated);
@@ -93,6 +102,9 @@ void Screen_camera_link::trim_buffer()
     const double next_start =
         camera_params_.phase_offset_s + static_cast<double>(capture_index_) / camera_params_.fps;
     while (!buffer_.empty() && buffer_.front().end_time <= next_start - 1e-12) {
+        // The projected frame can never contribute again; recycle its
+        // storage for the next sensor projection.
+        img::Frame_pool::instance().recycle(std::move(buffer_.front().sensor_image));
         buffer_.pop_front();
     }
 }

@@ -62,7 +62,6 @@ private:
     Display_model display_;
     Camera_params camera_params_;
     Camera_optics optics_;
-    util::Prng noise_;
     std::deque<Buffered_frame> buffer_;
     std::int64_t display_index_ = 0;
     std::int64_t capture_index_ = 0;

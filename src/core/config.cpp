@@ -15,6 +15,7 @@ void Inframe_config::validate() const
     const double ratio = display_fps / video_fps;
     util::expects(std::fabs(ratio - std::lround(ratio)) < 1e-9 && ratio >= 1.0,
                   "config: display rate must be an integer multiple of the video rate");
+    util::expects(threads >= 0, "config: threads must be >= 0 (0 = hardware concurrency)");
 }
 
 int Inframe_config::video_repeat() const

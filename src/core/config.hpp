@@ -38,6 +38,14 @@ struct Inframe_config {
     // the amplitude for corresponding Blocks").
     bool local_amplitude_cap = true;
 
+    // Worker threads for the simulation pipeline: 0 = hardware
+    // concurrency, 1 = serial, N = exactly N lanes. Results are
+    // bit-identical for every value (static partitioning + per-row noise
+    // seeding; see DESIGN.md "Threading model & determinism") — the knob
+    // only changes wall-clock time. Experiment runners install it via
+    // util::Parallel_scope.
+    int threads = 0;
+
     void validate() const;
 
     // Display frames per video frame (e.g. 4 on the paper's rig).

@@ -2,8 +2,10 @@
 
 #include "imgproc/filter.hpp"
 #include "imgproc/image_ops.hpp"
+#include "imgproc/pool.hpp"
 #include "util/contract.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -60,7 +62,10 @@ void Inframe_decoder::build_template()
     sin1_.assign(pixel_count, 0.0f);
     cos2_.assign(pixel_count, 0.0f);
     sin2_.assign(pixel_count, 0.0f);
-    for (int cy = 0; cy < params_.capture_height; ++cy) {
+    // Each sensor row writes its own slice of the template tables, so the
+    // trigonometric fill parallelizes over rows with disjoint outputs.
+    util::parallel_for(0, params_.capture_height, 16, [&](std::int64_t cy0, std::int64_t cy1) {
+    for (int cy = static_cast<int>(cy0); cy < static_cast<int>(cy1); ++cy) {
         for (int cx = 0; cx < params_.capture_width; ++cx) {
             // Sensor pixel centre mapped back to screen coordinates —
             // through the calibrated homography when viewing at an angle,
@@ -106,6 +111,7 @@ void Inframe_decoder::build_template()
             sin2_[index] = static_cast<float>(std::sin(phase2));
         }
     }
+    });
 }
 
 std::vector<double> Inframe_decoder::block_metrics(const img::Imagef& capture) const
@@ -137,30 +143,56 @@ std::vector<double> Inframe_decoder::matched_metrics(const img::Imagef& capture)
         double ic1 = 0.0, is1 = 0.0, ic2 = 0.0, is2 = 0.0;
         double tc1 = 0.0, ts1 = 0.0, tc2 = 0.0, ts2 = 0.0;
     };
-    std::vector<Acc> acc(blocks);
-
+    // Fixed row slices produce per-slice Acc partials that are merged in
+    // slice order — the floating-point association depends on the slice
+    // grain only, never on the thread count, so every thread count yields
+    // bit-identical metrics (the contract the determinism tests pin down).
     const auto stride = static_cast<std::size_t>(capture.width());
-    for (int cy = 0; cy < capture.height(); ++cy) {
-        const auto row = capture.row(cy);
-        const auto base = static_cast<std::size_t>(cy) * stride;
-        for (int cx = 0; cx < capture.width(); ++cx) {
-            const auto index = base + static_cast<std::size_t>(cx);
-            const auto block = block_of_pixel_[index];
-            if (block < 0) continue;
-            auto& a = acc[static_cast<std::size_t>(block)];
-            const double v = row[static_cast<std::size_t>(cx)];
-            a.n += 1.0;
-            a.sum += v;
-            a.ic1 += v * cos1_[index];
-            a.is1 += v * sin1_[index];
-            a.ic2 += v * cos2_[index];
-            a.is2 += v * sin2_[index];
-            a.tc1 += cos1_[index];
-            a.ts1 += sin1_[index];
-            a.tc2 += cos2_[index];
-            a.ts2 += sin2_[index];
-        }
-    }
+    constexpr std::int64_t slice_rows = 64;
+    std::vector<Acc> acc = util::parallel_reduce(
+        0, capture.height(), slice_rows, std::vector<Acc>(blocks),
+        [&](std::int64_t y0, std::int64_t y1) {
+            std::vector<Acc> partial(blocks);
+            for (std::int64_t cy = y0; cy < y1; ++cy) {
+                const auto row = capture.row(static_cast<int>(cy));
+                const auto base = static_cast<std::size_t>(cy) * stride;
+                for (int cx = 0; cx < capture.width(); ++cx) {
+                    const auto index = base + static_cast<std::size_t>(cx);
+                    const auto block = block_of_pixel_[index];
+                    if (block < 0) continue;
+                    auto& a = partial[static_cast<std::size_t>(block)];
+                    const double v = row[static_cast<std::size_t>(cx)];
+                    a.n += 1.0;
+                    a.sum += v;
+                    a.ic1 += v * cos1_[index];
+                    a.is1 += v * sin1_[index];
+                    a.ic2 += v * cos2_[index];
+                    a.is2 += v * sin2_[index];
+                    a.tc1 += cos1_[index];
+                    a.ts1 += sin1_[index];
+                    a.tc2 += cos2_[index];
+                    a.ts2 += sin2_[index];
+                }
+            }
+            return partial;
+        },
+        [&](std::vector<Acc> total, std::vector<Acc> partial) {
+            for (std::size_t b = 0; b < total.size(); ++b) {
+                auto& t = total[b];
+                const auto& p = partial[b];
+                t.n += p.n;
+                t.sum += p.sum;
+                t.ic1 += p.ic1;
+                t.is1 += p.is1;
+                t.ic2 += p.ic2;
+                t.is2 += p.is2;
+                t.tc1 += p.tc1;
+                t.ts1 += p.ts1;
+                t.tc2 += p.tc2;
+                t.ts2 += p.ts2;
+            }
+            return total;
+        });
 
     std::vector<double> metrics(blocks, 0.0);
     for (std::size_t b = 0; b < blocks; ++b) {
@@ -180,18 +212,22 @@ std::vector<double> Inframe_decoder::noise_level_metrics(const img::Imagef& capt
 
     // High-band residual: |I - smooth(I)| captures the chessboard plus
     // fine texture and sensor noise.
-    const img::Imagef smoothed = img::box_blur(capture, smooth_radius_);
-    const img::Imagef high_band = img::abs_diff(capture, smoothed);
+    img::Imagef smoothed = img::box_blur(capture, smooth_radius_);
+    img::Imagef high_band = img::abs_diff(capture, smoothed);
 
     // Octave-lower residual: texture is broadband, the chessboard is not.
     img::Imagef mid_band;
     if (params_.texture_compensation) {
-        const img::Imagef smoother = img::box_blur(smoothed, 2 * smooth_radius_ + 1);
+        img::Imagef smoother = img::box_blur(smoothed, 2 * smooth_radius_ + 1);
         mid_band = img::abs_diff(smoothed, smoother);
+        img::Frame_pool::instance().recycle(std::move(smoother));
     }
 
     std::vector<double> metrics(static_cast<std::size_t>(g.block_count()), 0.0);
-    for (int by = 0; by < g.blocks_y; ++by) {
+    // Each block writes exactly one metrics slot, so block rows fan out
+    // across threads without any shared state.
+    util::parallel_for(0, g.blocks_y, 1, [&](std::int64_t by0, std::int64_t by1) {
+    for (int by = static_cast<int>(by0); by < static_cast<int>(by1); ++by) {
         for (int bx = 0; bx < g.blocks_x; ++bx) {
             const auto rect = g.block_rect(bx, by);
             // Block rectangle in capture coordinates, shrunk by one sensor
@@ -213,6 +249,10 @@ std::vector<double> Inframe_decoder::noise_level_metrics(const img::Imagef& capt
             metrics[static_cast<std::size_t>(g.block_index(bx, by))] = std::max(metric, 0.0);
         }
     }
+    });
+    img::Frame_pool::instance().recycle(std::move(smoothed));
+    img::Frame_pool::instance().recycle(std::move(high_band));
+    img::Frame_pool::instance().recycle(std::move(mid_band));
     return metrics;
 }
 

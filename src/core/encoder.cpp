@@ -2,7 +2,9 @@
 
 #include "coding/parity.hpp"
 #include "imgproc/image_ops.hpp"
+#include "imgproc/pool.hpp"
 #include "util/contract.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 
@@ -97,25 +99,30 @@ float Inframe_encoder::envelope_gain(std::uint8_t current_bit, std::uint8_t next
 void Inframe_encoder::refresh_video_stats(const img::Imagef& video_frame)
 {
     const auto& g = config_.geometry;
-    for (int by = 0; by < g.blocks_y; ++by) {
-        for (int bx = 0; bx < g.blocks_x; ++bx) {
-            const auto rect = g.block_rect(bx, by);
-            float lo = 255.0f;
-            float hi = 0.0f;
-            for (int y = rect.y0; y < rect.y0 + rect.size; ++y) {
-                for (int x = rect.x0; x < rect.x0 + rect.size; ++x) {
-                    for (int c = 0; c < video_frame.channels(); ++c) {
-                        const float v = video_frame(x, y, c);
-                        lo = std::min(lo, v);
-                        hi = std::max(hi, v);
+    // Block rows are independent (each writes its own block_min_/block_max_
+    // slots), so the min/max scan parallelizes over rows of blocks.
+    util::parallel_for(0, g.blocks_y, 1, [&](std::int64_t by0, std::int64_t by1) {
+        for (std::int64_t by = by0; by < by1; ++by) {
+            for (int bx = 0; bx < g.blocks_x; ++bx) {
+                const auto rect = g.block_rect(bx, static_cast<int>(by));
+                float lo = 255.0f;
+                float hi = 0.0f;
+                for (int y = rect.y0; y < rect.y0 + rect.size; ++y) {
+                    for (int x = rect.x0; x < rect.x0 + rect.size; ++x) {
+                        for (int c = 0; c < video_frame.channels(); ++c) {
+                            const float v = video_frame(x, y, c);
+                            lo = std::min(lo, v);
+                            hi = std::max(hi, v);
+                        }
                     }
                 }
+                const auto index =
+                    static_cast<std::size_t>(g.block_index(bx, static_cast<int>(by)));
+                block_min_[index] = lo;
+                block_max_[index] = hi;
             }
-            const auto index = static_cast<std::size_t>(g.block_index(bx, by));
-            block_min_[index] = lo;
-            block_max_[index] = hi;
         }
-    }
+    });
 }
 
 img::Imagef Inframe_encoder::next_display_frame(const img::Imagef& video_frame)
@@ -143,24 +150,35 @@ img::Imagef Inframe_encoder::next_display_frame(const img::Imagef& video_frame)
     const auto& next = bits_for(data_index + 1);
     const auto& current = bits_for(data_index);
 
-    img::Imagef out = video_frame;
-    for (int by = 0; by < g.blocks_y; ++by) {
-        for (int bx = 0; bx < g.blocks_x; ++bx) {
-            const auto index = static_cast<std::size_t>(g.block_index(bx, by));
-            const float gain = envelope_gain(current[index], next[index], phase);
-            if (gain <= 0.0f) continue;
-            float amplitude = config_.delta * gain;
-            if (config_.local_amplitude_cap) {
-                // V + D must stay <= 255 and V - D >= 0 for the raised
-                // Pixels; cap symmetrically so the pair still cancels.
-                const float headroom =
-                    std::min(255.0f - block_max_[index], block_min_[index]);
-                amplitude = std::clamp(amplitude, 0.0f, std::max(headroom, 0.0f));
+    // Copy the video frame into a recycled buffer; the chessboard embed
+    // then runs over block rows in parallel (blocks write disjoint pixel
+    // rectangles, so any partition yields identical output).
+    img::Imagef out =
+        img::Frame_pool::instance().acquire(g.screen_width, g.screen_height,
+                                            video_frame.channels());
+    std::copy(video_frame.values().begin(), video_frame.values().end(),
+              out.values().begin());
+    util::parallel_for(0, g.blocks_y, 1, [&](std::int64_t by0, std::int64_t by1) {
+        for (std::int64_t by = by0; by < by1; ++by) {
+            for (int bx = 0; bx < g.blocks_x; ++bx) {
+                const auto index =
+                    static_cast<std::size_t>(g.block_index(bx, static_cast<int>(by)));
+                const float gain = envelope_gain(current[index], next[index], phase);
+                if (gain <= 0.0f) continue;
+                float amplitude = config_.delta * gain;
+                if (config_.local_amplitude_cap) {
+                    // V + D must stay <= 255 and V - D >= 0 for the raised
+                    // Pixels; cap symmetrically so the pair still cancels.
+                    const float headroom =
+                        std::min(255.0f - block_max_[index], block_min_[index]);
+                    amplitude = std::clamp(amplitude, 0.0f, std::max(headroom, 0.0f));
+                }
+                if (amplitude <= 0.0f) continue;
+                coding::add_chessboard_block(out, g, bx, static_cast<int>(by),
+                                             sign * amplitude);
             }
-            if (amplitude <= 0.0f) continue;
-            coding::add_chessboard_block(out, g, bx, by, sign * amplitude);
         }
-    }
+    });
     img::clamp(out, 0.0f, 255.0f);
     ++display_index_;
     return out;

@@ -2,8 +2,10 @@
 
 #include "core/session.hpp"
 #include "imgproc/image_ops.hpp"
+#include "imgproc/pool.hpp"
 #include "util/contract.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 #include <cmath>
 
@@ -17,6 +19,11 @@ Link_experiment_result run_link_experiment(const Link_experiment_config& config)
     util::expects(config.video->width() == config.inframe.geometry.screen_width
                       && config.video->height() == config.inframe.geometry.screen_height,
                   "link experiment: video size must match geometry");
+
+    // Install the experiment's thread budget for every stage below
+    // (encoder embed, channel kernels, decoder metrics). Restored on exit.
+    const util::Parallel_scope parallel_scope(
+        config.threads >= 0 ? config.threads : config.inframe.threads);
 
     Inframe_encoder encoder(config.inframe);
 
@@ -54,13 +61,17 @@ Link_experiment_result run_link_experiment(const Link_experiment_config& config)
 
     std::vector<Data_frame_result> results;
     for (std::int64_t j = 0; j < total_display_frames; ++j) {
-        const auto video_frame = config.video->frame(schedule.video_frame_for_display(j));
-        const auto display_frame = encoder.next_display_frame(video_frame);
-        for (const auto& capture : link.push_display_frame(display_frame)) {
+        auto video_frame = config.video->frame(schedule.video_frame_for_display(j));
+        auto display_frame = encoder.next_display_frame(video_frame);
+        for (auto& capture : link.push_display_frame(display_frame)) {
             for (auto& result : decoder.push_capture(capture.image, capture.start_time)) {
                 results.push_back(std::move(result));
             }
+            // The capture has been fully demodulated; recycle its frame.
+            img::Frame_pool::instance().recycle(std::move(capture.image));
         }
+        img::Frame_pool::instance().recycle(std::move(display_frame));
+        img::Frame_pool::instance().recycle(std::move(video_frame));
     }
     if (auto last = decoder.flush()) results.push_back(std::move(*last));
 
@@ -150,6 +161,9 @@ hvs::Panel_result run_flicker_experiment(const Flicker_experiment_config& config
     util::expects(config.duration_s > 0.0, "flicker experiment: duration must be positive");
     util::expects(config.observers >= 1, "flicker experiment: need at least one observer");
     config.inframe.validate();
+
+    const util::Parallel_scope parallel_scope(
+        config.threads >= 0 ? config.threads : config.inframe.threads);
 
     Inframe_encoder encoder(config.inframe);
     util::Prng data_prng(config.data_seed);

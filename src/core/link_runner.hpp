@@ -39,6 +39,11 @@ struct Link_experiment_config {
 
     double duration_s = 4.0;
     std::uint64_t data_seed = util::Prng::default_seed;
+
+    // Worker threads for this experiment: -1 inherits inframe.threads,
+    // 0 = hardware concurrency, 1 = serial, N = exactly N lanes. Output is
+    // bit-identical for every value (see DESIGN.md).
+    int threads = -1;
 };
 
 struct Link_experiment_result {
@@ -69,6 +74,9 @@ struct Flicker_experiment_config {
     std::uint64_t observer_seed = 42;
     double duration_s = 2.0;
     std::uint64_t data_seed = util::Prng::default_seed;
+
+    // Same contract as Link_experiment_config::threads.
+    int threads = -1;
 
     // Optional replacement for the InFrame encoder: maps (video frame,
     // display index) to the displayed frame. Used by the Fig. 3 naive

@@ -1,10 +1,18 @@
 #include "imgproc/filter.hpp"
 
+#include "imgproc/pool.hpp"
+#include "util/thread_pool.hpp"
+
 #include <cmath>
+#include <vector>
 
 namespace inframe::img {
 
 namespace {
+
+// Rows per parallel chunk. Fixed (thread-count-independent) so chunk
+// boundaries — and with them any per-chunk state — are deterministic.
+constexpr std::int64_t row_grain = 16;
 
 // Horizontal sliding-window box sum for one channel of one row.
 void box_blur_row(const float* src, float* dst, int width, int stride, int radius)
@@ -24,6 +32,36 @@ void box_blur_row(const float* src, float* dst, int width, int stride, int radiu
     }
 }
 
+// Vertical box blur over a band of output rows, accumulating whole rows at a
+// time: the inner loops stride unit distance through memory instead of
+// jumping width*channels floats per step as a column-by-column pass would.
+// The sliding window is a row of double sums, re-initialized at the band
+// start; band boundaries depend only on the grain, so every thread count
+// (including the serial path) produces identical output.
+void box_blur_vertical_band(const Imagef& src, Imagef& dst, int radius, int y_begin, int y_end)
+{
+    const int height = src.height();
+    const std::size_t row_values = src.row(0).size();
+    const float norm = 1.0f / static_cast<float>(2 * radius + 1);
+
+    std::vector<double> window(row_values, 0.0);
+    for (int k = y_begin - radius; k <= y_begin + radius; ++k) {
+        const auto row = src.row(std::clamp(k, 0, height - 1));
+        for (std::size_t i = 0; i < row_values; ++i) window[i] += row[i];
+    }
+    for (int y = y_begin; y < y_end; ++y) {
+        auto out_row = dst.row(y);
+        for (std::size_t i = 0; i < row_values; ++i) {
+            out_row[i] = static_cast<float>(window[i]) * norm;
+        }
+        const auto leaving = src.row(std::clamp(y - radius, 0, height - 1));
+        const auto entering = src.row(std::clamp(y + radius + 1, 0, height - 1));
+        for (std::size_t i = 0; i < row_values; ++i) {
+            window[i] += entering[i] - leaving[i];
+        }
+    }
+}
+
 } // namespace
 
 Imagef box_blur(const Imagef& src, int radius_x, int radius_y)
@@ -32,25 +70,29 @@ Imagef box_blur(const Imagef& src, int radius_x, int radius_y)
     if (radius_x == 0 && radius_y == 0) return src;
 
     const int ch = src.channels();
-    Imagef horizontal = src;
+    Imagef horizontal;
     if (radius_x > 0) {
-        for (int y = 0; y < src.height(); ++y) {
-            const float* in = src.row(y).data();
-            float* out = horizontal.row(y).data();
-            for (int c = 0; c < ch; ++c) box_blur_row(in + c, out + c, src.width(), ch, radius_x);
-        }
+        horizontal = Frame_pool::instance().acquire(src.width(), src.height(), ch);
+        util::parallel_for(0, src.height(), row_grain, [&](std::int64_t y0, std::int64_t y1) {
+            for (std::int64_t y = y0; y < y1; ++y) {
+                const float* in = src.row(static_cast<int>(y)).data();
+                float* out = horizontal.row(static_cast<int>(y)).data();
+                for (int c = 0; c < ch; ++c) box_blur_row(in + c, out + c, src.width(), ch, radius_x);
+            }
+        });
+        if (radius_y == 0) return horizontal;
     }
-    if (radius_y == 0) return horizontal;
+    const Imagef& h_src = radius_x > 0 ? horizontal : src;
 
-    Imagef out(src.width(), src.height(), ch);
-    const int column_stride = src.width() * ch;
-    for (int x = 0; x < src.width(); ++x) {
-        for (int c = 0; c < ch; ++c) {
-            const float* in = horizontal.values().data() + static_cast<std::ptrdiff_t>(x) * ch + c;
-            float* dst = out.values().data() + static_cast<std::ptrdiff_t>(x) * ch + c;
-            box_blur_row(in, dst, src.height(), column_stride, radius_y);
-        }
-    }
+    Imagef out = Frame_pool::instance().acquire(src.width(), src.height(), ch);
+    // Bands must be at least as tall as the radius or the O(radius) window
+    // init dominates; the grain is still a pure function of the radius.
+    const std::int64_t band = std::max<std::int64_t>(row_grain, radius_y);
+    util::parallel_for(0, src.height(), band, [&](std::int64_t y0, std::int64_t y1) {
+        box_blur_vertical_band(h_src, out, radius_y, static_cast<int>(y0),
+                               static_cast<int>(y1));
+    });
+    if (radius_x > 0) Frame_pool::instance().recycle(std::move(horizontal));
     return out;
 }
 
@@ -80,33 +122,40 @@ Imagef separable_convolve(const Imagef& src, std::span<const float> kernel)
     const int radius = static_cast<int>(kernel.size() / 2);
     const int ch = src.channels();
 
-    Imagef horizontal(src.width(), src.height(), ch);
-    for (int y = 0; y < src.height(); ++y) {
-        for (int x = 0; x < src.width(); ++x) {
-            for (int c = 0; c < ch; ++c) {
-                double acc = 0.0;
-                for (int k = -radius; k <= radius; ++k) {
-                    acc += kernel[static_cast<std::size_t>(k + radius)]
-                           * src.at_clamped(x + k, y, c);
+    Imagef horizontal = Frame_pool::instance().acquire(src.width(), src.height(), ch);
+    util::parallel_for(0, src.height(), row_grain, [&](std::int64_t y0, std::int64_t y1) {
+        for (std::int64_t yy = y0; yy < y1; ++yy) {
+            const int y = static_cast<int>(yy);
+            for (int x = 0; x < src.width(); ++x) {
+                for (int c = 0; c < ch; ++c) {
+                    double acc = 0.0;
+                    for (int k = -radius; k <= radius; ++k) {
+                        acc += kernel[static_cast<std::size_t>(k + radius)]
+                               * src.at_clamped(x + k, y, c);
+                    }
+                    horizontal(x, y, c) = static_cast<float>(acc);
                 }
-                horizontal(x, y, c) = static_cast<float>(acc);
             }
         }
-    }
+    });
 
-    Imagef out(src.width(), src.height(), ch);
-    for (int y = 0; y < src.height(); ++y) {
-        for (int x = 0; x < src.width(); ++x) {
-            for (int c = 0; c < ch; ++c) {
-                double acc = 0.0;
-                for (int k = -radius; k <= radius; ++k) {
-                    acc += kernel[static_cast<std::size_t>(k + radius)]
-                           * horizontal.at_clamped(x, y + k, c);
+    Imagef out = Frame_pool::instance().acquire(src.width(), src.height(), ch);
+    util::parallel_for(0, src.height(), row_grain, [&](std::int64_t y0, std::int64_t y1) {
+        for (std::int64_t yy = y0; yy < y1; ++yy) {
+            const int y = static_cast<int>(yy);
+            for (int x = 0; x < src.width(); ++x) {
+                for (int c = 0; c < ch; ++c) {
+                    double acc = 0.0;
+                    for (int k = -radius; k <= radius; ++k) {
+                        acc += kernel[static_cast<std::size_t>(k + radius)]
+                               * horizontal.at_clamped(x, y + k, c);
+                    }
+                    out(x, y, c) = static_cast<float>(acc);
                 }
-                out(x, y, c) = static_cast<float>(acc);
             }
         }
-    }
+    });
+    Frame_pool::instance().recycle(std::move(horizontal));
     return out;
 }
 
@@ -118,17 +167,20 @@ Imagef gaussian_blur(const Imagef& src, double sigma)
 
 Imagef laplacian_abs(const Imagef& src)
 {
-    Imagef out(src.width(), src.height(), src.channels());
-    for (int y = 0; y < src.height(); ++y) {
-        for (int x = 0; x < src.width(); ++x) {
-            for (int c = 0; c < src.channels(); ++c) {
-                const float v = 4.0f * src(x, y, c) - src.at_clamped(x - 1, y, c)
-                                - src.at_clamped(x + 1, y, c) - src.at_clamped(x, y - 1, c)
-                                - src.at_clamped(x, y + 1, c);
-                out(x, y, c) = std::fabs(v);
+    Imagef out = Frame_pool::instance().acquire(src.width(), src.height(), src.channels());
+    util::parallel_for(0, src.height(), row_grain, [&](std::int64_t y0, std::int64_t y1) {
+        for (std::int64_t yy = y0; yy < y1; ++yy) {
+            const int y = static_cast<int>(yy);
+            for (int x = 0; x < src.width(); ++x) {
+                for (int c = 0; c < src.channels(); ++c) {
+                    const float v = 4.0f * src(x, y, c) - src.at_clamped(x - 1, y, c)
+                                    - src.at_clamped(x + 1, y, c) - src.at_clamped(x, y - 1, c)
+                                    - src.at_clamped(x, y + 1, c);
+                    out(x, y, c) = std::fabs(v);
+                }
             }
         }
-    }
+    });
     return out;
 }
 

@@ -37,6 +37,27 @@ public:
                      fill);
     }
 
+    // Adopts recycled storage (Frame_pool): the vector's capacity is reused,
+    // its contents are unspecified after the resize.
+    Image(int width, int height, int channels, std::vector<T>&& storage)
+        : width_(width), height_(height), channels_(channels), data_(std::move(storage))
+    {
+        util::expects(width > 0 && height > 0, "Image dimensions must be positive");
+        util::expects(channels == 1 || channels == 3, "Image supports 1 or 3 channels");
+        data_.resize(static_cast<std::size_t>(width) * static_cast<std::size_t>(height)
+                     * static_cast<std::size_t>(channels));
+    }
+
+    // Surrenders the backing storage (for recycling); the image is empty
+    // afterwards.
+    std::vector<T> take_storage()
+    {
+        width_ = 0;
+        height_ = 0;
+        channels_ = 0;
+        return std::move(data_);
+    }
+
     int width() const { return width_; }
     int height() const { return height_; }
     int channels() const { return channels_; }

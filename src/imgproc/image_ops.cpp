@@ -1,82 +1,134 @@
 #include "imgproc/image_ops.hpp"
 
+#include "imgproc/pool.hpp"
+#include "util/thread_pool.hpp"
+
 #include <cmath>
 
 namespace inframe::img {
+
+namespace {
+
+// Flat values per parallel chunk for elementwise ops. Each element is
+// computed independently, so any partition is bit-identical; the grain just
+// keeps chunk dispatch overhead negligible.
+constexpr std::int64_t value_grain = 1 << 15;
+
+} // namespace
 
 Image8 to_u8(const Imagef& src)
 {
     Image8 out(src.width(), src.height(), src.channels());
     const auto in = src.values();
     auto dst = out.values();
-    for (std::size_t i = 0; i < in.size(); ++i) {
-        dst[i] = static_cast<std::uint8_t>(std::clamp(std::lround(in[i]), 0L, 255L));
-    }
+    util::parallel_for(0, static_cast<std::int64_t>(in.size()), value_grain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                               dst[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+                                   std::clamp(std::lround(in[static_cast<std::size_t>(i)]), 0L, 255L));
+                           }
+                       });
     return out;
 }
 
 Imagef to_float(const Image8& src)
 {
-    Imagef out(src.width(), src.height(), src.channels());
+    Imagef out = Frame_pool::instance().acquire(src.width(), src.height(), src.channels());
     const auto in = src.values();
     auto dst = out.values();
-    for (std::size_t i = 0; i < in.size(); ++i) dst[i] = static_cast<float>(in[i]);
+    util::parallel_for(0, static_cast<std::int64_t>(in.size()), value_grain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                               dst[static_cast<std::size_t>(i)] =
+                                   static_cast<float>(in[static_cast<std::size_t>(i)]);
+                           }
+                       });
     return out;
 }
 
 Imagef to_gray(const Imagef& src)
 {
     if (src.channels() == 1) return src;
-    Imagef out(src.width(), src.height(), 1);
-    for (int y = 0; y < src.height(); ++y) {
-        for (int x = 0; x < src.width(); ++x) {
-            out(x, y) = 0.299f * src(x, y, 0) + 0.587f * src(x, y, 1) + 0.114f * src(x, y, 2);
+    Imagef out = Frame_pool::instance().acquire(src.width(), src.height(), 1);
+    util::parallel_for(0, src.height(), 16, [&](std::int64_t y0, std::int64_t y1) {
+        for (std::int64_t yy = y0; yy < y1; ++yy) {
+            const int y = static_cast<int>(yy);
+            for (int x = 0; x < src.width(); ++x) {
+                out(x, y) = 0.299f * src(x, y, 0) + 0.587f * src(x, y, 1)
+                            + 0.114f * src(x, y, 2);
+            }
         }
-    }
+    });
     return out;
 }
 
+namespace {
+
+// out[i] = op(a[i], b[i]) with the output frame drawn from the pool.
+template <typename Op>
+Imagef binary_elementwise(const Imagef& a, const Imagef& b, const char* what, Op op)
+{
+    util::expects(a.same_shape(b), what);
+    Imagef out = Frame_pool::instance().acquire(a.width(), a.height(), a.channels());
+    auto dst = out.values();
+    const auto lhs = a.values();
+    const auto rhs = b.values();
+    util::parallel_for(0, static_cast<std::int64_t>(dst.size()), value_grain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                               const auto s = static_cast<std::size_t>(i);
+                               dst[s] = op(lhs[s], rhs[s]);
+                           }
+                       });
+    return out;
+}
+
+} // namespace
+
 Imagef add(const Imagef& a, const Imagef& b)
 {
-    util::expects(a.same_shape(b), "add: shape mismatch");
-    Imagef out = a;
-    auto dst = out.values();
-    const auto rhs = b.values();
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += rhs[i];
-    return out;
+    return binary_elementwise(a, b, "add: shape mismatch",
+                              [](float x, float y) { return x + y; });
 }
 
 Imagef subtract(const Imagef& a, const Imagef& b)
 {
-    util::expects(a.same_shape(b), "subtract: shape mismatch");
-    Imagef out = a;
-    auto dst = out.values();
-    const auto rhs = b.values();
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] -= rhs[i];
-    return out;
+    return binary_elementwise(a, b, "subtract: shape mismatch",
+                              [](float x, float y) { return x - y; });
 }
 
 Imagef abs_diff(const Imagef& a, const Imagef& b)
 {
-    util::expects(a.same_shape(b), "abs_diff: shape mismatch");
-    Imagef out = a;
-    auto dst = out.values();
-    const auto rhs = b.values();
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = std::fabs(dst[i] - rhs[i]);
-    return out;
+    return binary_elementwise(a, b, "abs_diff: shape mismatch",
+                              [](float x, float y) { return std::fabs(x - y); });
 }
 
 Imagef affine(const Imagef& a, float scale, float offset)
 {
-    Imagef out = a;
-    out.transform([=](float v) { return v * scale + offset; });
+    Imagef out = Frame_pool::instance().acquire(a.width(), a.height(), a.channels());
+    auto dst = out.values();
+    const auto in = a.values();
+    util::parallel_for(0, static_cast<std::int64_t>(dst.size()), value_grain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                               const auto s = static_cast<std::size_t>(i);
+                               dst[s] = in[s] * scale + offset;
+                           }
+                       });
     return out;
 }
 
 void clamp(Imagef& image, float lo, float hi)
 {
     util::expects(lo <= hi, "clamp: lo must not exceed hi");
-    image.transform([=](float v) { return std::clamp(v, lo, hi); });
+    auto values = image.values();
+    util::parallel_for(0, static_cast<std::int64_t>(values.size()), value_grain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                               auto& v = values[static_cast<std::size_t>(i)];
+                               v = std::clamp(v, lo, hi);
+                           }
+                       });
 }
 
 void accumulate(Imagef& a, const Imagef& b, float weight)
@@ -84,14 +136,29 @@ void accumulate(Imagef& a, const Imagef& b, float weight)
     util::expects(a.same_shape(b), "accumulate: shape mismatch");
     auto dst = a.values();
     const auto rhs = b.values();
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += rhs[i] * weight;
+    util::parallel_for(0, static_cast<std::int64_t>(dst.size()), value_grain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                               const auto s = static_cast<std::size_t>(i);
+                               dst[s] += rhs[s] * weight;
+                           }
+                       });
 }
 
 double mean(const Imagef& image)
 {
     util::expects(!image.empty(), "mean of empty image");
-    double sum = 0.0;
-    for (const float v : image.values()) sum += v;
+    // Fixed-slice deterministic reduction (see thread_pool.hpp): partial
+    // sums are merged in slice order regardless of thread count.
+    const auto values = image.values();
+    const double sum = util::parallel_reduce(
+        0, static_cast<std::int64_t>(values.size()), value_grain, 0.0,
+        [&](std::int64_t i0, std::int64_t i1) {
+            double acc = 0.0;
+            for (std::int64_t i = i0; i < i1; ++i) acc += values[static_cast<std::size_t>(i)];
+            return acc;
+        },
+        [](double acc, double partial) { return acc + partial; });
     return sum / static_cast<double>(image.value_count());
 }
 

@@ -1,0 +1,73 @@
+#include "imgproc/pool.hpp"
+
+#include <algorithm>
+
+namespace inframe::img {
+
+Frame_pool& Frame_pool::instance()
+{
+    static Frame_pool pool;
+    return pool;
+}
+
+Imagef Frame_pool::acquire(int width, int height, int channels)
+{
+    const std::size_t needed = static_cast<std::size_t>(width)
+                               * static_cast<std::size_t>(height)
+                               * static_cast<std::size_t>(channels);
+    std::vector<float> storage;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Best-fitting buffer that already has enough capacity; a smaller
+        // buffer would just reallocate and waste the reuse.
+        std::size_t best = free_.size();
+        for (std::size_t i = 0; i < free_.size(); ++i) {
+            const std::size_t cap = free_[i].capacity();
+            if (cap >= needed && (best == free_.size() || cap < free_[best].capacity())) {
+                best = i;
+            }
+        }
+        if (best != free_.size()) {
+            storage = std::move(free_[best]);
+            free_[best] = std::move(free_.back());
+            free_.pop_back();
+            ++reuses_;
+        }
+    }
+    return Imagef(width, height, channels, std::move(storage));
+}
+
+Imagef Frame_pool::acquire(int width, int height, int channels, float fill)
+{
+    Imagef frame = acquire(width, height, channels);
+    frame.fill(fill);
+    return frame;
+}
+
+void Frame_pool::recycle(Imagef&& frame)
+{
+    if (frame.empty()) return;
+    std::vector<float> storage = frame.take_storage();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.size() < max_pooled) free_.push_back(std::move(storage));
+}
+
+std::size_t Frame_pool::pooled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+}
+
+std::size_t Frame_pool::reuse_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reuses_;
+}
+
+void Frame_pool::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.clear();
+}
+
+} // namespace inframe::img

@@ -1,0 +1,54 @@
+// Frame-buffer recycling for the 120 Hz simulation loop.
+//
+// Every stage of the link pipeline (encoder output, display emission, sensor
+// projection, exposure integration, decoder residuals) produces whole-frame
+// Imagef temporaries. At 120 display frames per simulated second that is
+// thousands of multi-megabyte allocations per experiment; the pool keeps a
+// small freelist of float buffers so steady-state frames reuse warm memory
+// instead of round-tripping through the allocator.
+//
+// Usage: acquire() in place of the Imagef constructor for hot-path frames,
+// recycle() when a frame's contents are dead. Recycling is optional —
+// an Imagef that is never returned simply frees its storage as before.
+#pragma once
+
+#include "imgproc/image.hpp"
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace inframe::img {
+
+class Frame_pool {
+public:
+    // Process-wide pool shared by the pipeline stages. Thread-safe.
+    static Frame_pool& instance();
+
+    // A frame backed by recycled storage when available. Contents are
+    // unspecified unless `fill` is given.
+    Imagef acquire(int width, int height, int channels);
+    Imagef acquire(int width, int height, int channels, float fill);
+
+    // Returns a frame's storage to the freelist. Accepts empty images
+    // (no-op) so callers can recycle moved-from frames unconditionally.
+    void recycle(Imagef&& frame);
+
+    // Buffers currently parked in the freelist / lifetime reuse count.
+    std::size_t pooled() const;
+    std::size_t reuse_count() const;
+
+    // Drops all pooled buffers (tests; memory pressure).
+    void clear();
+
+    // The freelist never holds more than this many buffers; further
+    // recycles free their storage normally.
+    static constexpr std::size_t max_pooled = 48;
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<std::vector<float>> free_;
+    std::size_t reuses_ = 0;
+};
+
+} // namespace inframe::img

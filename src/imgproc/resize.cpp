@@ -1,8 +1,18 @@
 #include "imgproc/resize.hpp"
 
+#include "imgproc/pool.hpp"
+#include "util/thread_pool.hpp"
+
 #include <cmath>
 
 namespace inframe::img {
+
+namespace {
+
+// Rows per parallel chunk; fixed so partitioning is thread-count-invariant.
+constexpr std::int64_t row_grain = 16;
+
+} // namespace
 
 float sample_bilinear(const Imagef& src, float x, float y, int c)
 {
@@ -22,80 +32,94 @@ float sample_bilinear(const Imagef& src, float x, float y, int c)
 Imagef resize_bilinear(const Imagef& src, int out_w, int out_h)
 {
     util::expects(out_w > 0 && out_h > 0, "resize_bilinear output must be non-empty");
-    Imagef out(out_w, out_h, src.channels());
+    Imagef out = Frame_pool::instance().acquire(out_w, out_h, src.channels());
     const float sx = static_cast<float>(src.width()) / static_cast<float>(out_w);
     const float sy = static_cast<float>(src.height()) / static_cast<float>(out_h);
-    for (int y = 0; y < out_h; ++y) {
-        const float src_y = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
-        for (int x = 0; x < out_w; ++x) {
-            const float src_x = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
-            for (int c = 0; c < src.channels(); ++c) {
-                out(x, y, c) = sample_bilinear(src, src_x, src_y, c);
+    util::parallel_for(0, out_h, row_grain, [&](std::int64_t y0, std::int64_t y1) {
+        for (std::int64_t yy = y0; yy < y1; ++yy) {
+            const int y = static_cast<int>(yy);
+            const float src_y = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+            for (int x = 0; x < out_w; ++x) {
+                const float src_x = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+                for (int c = 0; c < src.channels(); ++c) {
+                    out(x, y, c) = sample_bilinear(src, src_x, src_y, c);
+                }
             }
         }
-    }
+    });
     return out;
 }
 
 Imagef resize_area(const Imagef& src, int out_w, int out_h)
 {
     util::expects(out_w > 0 && out_h > 0, "resize_area output must be non-empty");
-    Imagef out(out_w, out_h, src.channels());
+    Imagef out = Frame_pool::instance().acquire(out_w, out_h, src.channels());
     const double sx = static_cast<double>(src.width()) / out_w;
     const double sy = static_cast<double>(src.height()) / out_h;
-    for (int y = 0; y < out_h; ++y) {
-        const double y_lo = y * sy;
-        const double y_hi = (y + 1) * sy;
-        const int iy_lo = static_cast<int>(std::floor(y_lo));
-        const int iy_hi = std::min(static_cast<int>(std::ceil(y_hi)), src.height());
-        for (int x = 0; x < out_w; ++x) {
-            const double x_lo = x * sx;
-            const double x_hi = (x + 1) * sx;
-            const int ix_lo = static_cast<int>(std::floor(x_lo));
-            const int ix_hi = std::min(static_cast<int>(std::ceil(x_hi)), src.width());
-            for (int c = 0; c < src.channels(); ++c) {
-                double acc = 0.0;
-                double area = 0.0;
-                for (int yy = iy_lo; yy < iy_hi; ++yy) {
-                    const double hy = std::min<double>(y_hi, yy + 1) - std::max<double>(y_lo, yy);
-                    for (int xx = ix_lo; xx < ix_hi; ++xx) {
-                        const double wx =
-                            std::min<double>(x_hi, xx + 1) - std::max<double>(x_lo, xx);
-                        const double w = wx * hy;
-                        acc += w * src(xx, yy, c);
-                        area += w;
+    util::parallel_for(0, out_h, row_grain, [&](std::int64_t band_y0, std::int64_t band_y1) {
+        for (std::int64_t yy = band_y0; yy < band_y1; ++yy) {
+            const int y = static_cast<int>(yy);
+            const double y_lo = y * sy;
+            const double y_hi = (y + 1) * sy;
+            const int iy_lo = static_cast<int>(std::floor(y_lo));
+            const int iy_hi = std::min(static_cast<int>(std::ceil(y_hi)), src.height());
+            for (int x = 0; x < out_w; ++x) {
+                const double x_lo = x * sx;
+                const double x_hi = (x + 1) * sx;
+                const int ix_lo = static_cast<int>(std::floor(x_lo));
+                const int ix_hi = std::min(static_cast<int>(std::ceil(x_hi)), src.width());
+                for (int c = 0; c < src.channels(); ++c) {
+                    double acc = 0.0;
+                    double area = 0.0;
+                    for (int sy_i = iy_lo; sy_i < iy_hi; ++sy_i) {
+                        const double hy =
+                            std::min<double>(y_hi, sy_i + 1) - std::max<double>(y_lo, sy_i);
+                        for (int sx_i = ix_lo; sx_i < ix_hi; ++sx_i) {
+                            const double wx =
+                                std::min<double>(x_hi, sx_i + 1) - std::max<double>(x_lo, sx_i);
+                            const double w = wx * hy;
+                            acc += w * src(sx_i, sy_i, c);
+                            area += w;
+                        }
                     }
+                    out(x, y, c) = static_cast<float>(area > 0.0 ? acc / area : 0.0);
                 }
-                out(x, y, c) = static_cast<float>(area > 0.0 ? acc / area : 0.0);
             }
         }
-    }
+    });
     return out;
 }
 
 Imagef translate(const Imagef& src, float dx, float dy)
 {
-    Imagef out(src.width(), src.height(), src.channels());
-    for (int y = 0; y < src.height(); ++y) {
-        for (int x = 0; x < src.width(); ++x) {
-            for (int c = 0; c < src.channels(); ++c) {
-                out(x, y, c) = sample_bilinear(src, static_cast<float>(x) - dx,
-                                               static_cast<float>(y) - dy, c);
+    Imagef out = Frame_pool::instance().acquire(src.width(), src.height(), src.channels());
+    util::parallel_for(0, src.height(), row_grain, [&](std::int64_t y0, std::int64_t y1) {
+        for (std::int64_t yy = y0; yy < y1; ++yy) {
+            const int y = static_cast<int>(yy);
+            for (int x = 0; x < src.width(); ++x) {
+                for (int c = 0; c < src.channels(); ++c) {
+                    out(x, y, c) = sample_bilinear(src, static_cast<float>(x) - dx,
+                                                   static_cast<float>(y) - dy, c);
+                }
             }
         }
-    }
+    });
     return out;
 }
 
 Imagef upscale_nearest(const Imagef& src, int k)
 {
     util::expects(k >= 1, "upscale_nearest factor must be >= 1");
-    Imagef out(src.width() * k, src.height() * k, src.channels());
-    for (int y = 0; y < out.height(); ++y) {
-        for (int x = 0; x < out.width(); ++x) {
-            for (int c = 0; c < src.channels(); ++c) out(x, y, c) = src(x / k, y / k, c);
+    Imagef out = Frame_pool::instance().acquire(src.width() * k, src.height() * k,
+                                                src.channels());
+    util::parallel_for(0, out.height(), row_grain, [&](std::int64_t y0, std::int64_t y1) {
+        for (std::int64_t yy = y0; yy < y1; ++yy) {
+            const int y = static_cast<int>(yy);
+            for (int x = 0; x < out.width(); ++x) {
+                for (int c = 0; c < src.channels(); ++c) out(x, y, c) = src(x / k, y / k, c);
+            }
         }
-    }
+    });
     return out;
 }
 

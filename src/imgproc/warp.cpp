@@ -1,7 +1,9 @@
 #include "imgproc/warp.hpp"
 
+#include "imgproc/pool.hpp"
 #include "imgproc/resize.hpp"
 #include "util/contract.hpp"
+#include "util/thread_pool.hpp"
 
 #include <cmath>
 
@@ -101,18 +103,21 @@ Homography Homography::inverse() const
 Imagef warp_perspective(const Imagef& src, const Homography& dst_to_src, int out_w, int out_h)
 {
     util::expects(out_w > 0 && out_h > 0, "warp_perspective: output must be non-empty");
-    Imagef out(out_w, out_h, src.channels());
-    for (int y = 0; y < out_h; ++y) {
-        for (int x = 0; x < out_w; ++x) {
-            double sx = 0.0;
-            double sy = 0.0;
-            dst_to_src.apply(static_cast<double>(x), static_cast<double>(y), sx, sy);
-            for (int c = 0; c < src.channels(); ++c) {
-                out(x, y, c) = sample_bilinear(src, static_cast<float>(sx),
-                                               static_cast<float>(sy), c);
+    Imagef out = Frame_pool::instance().acquire(out_w, out_h, src.channels());
+    util::parallel_for(0, out_h, 16, [&](std::int64_t y0, std::int64_t y1) {
+        for (std::int64_t yy = y0; yy < y1; ++yy) {
+            const int y = static_cast<int>(yy);
+            for (int x = 0; x < out_w; ++x) {
+                double sx = 0.0;
+                double sy = 0.0;
+                dst_to_src.apply(static_cast<double>(x), static_cast<double>(y), sx, sy);
+                for (int c = 0; c < src.channels(); ++c) {
+                    out(x, y, c) = sample_bilinear(src, static_cast<float>(sx),
+                                                   static_cast<float>(sy), c);
+                }
             }
         }
-    }
+    });
     return out;
 }
 

@@ -45,3 +45,4 @@
 #include "util/crc32.hpp"
 #include "util/stats.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"

@@ -1,0 +1,135 @@
+// Deterministic fork-join parallelism for the simulation hot path.
+//
+// Design contract (see DESIGN.md, "Threading model & determinism"): work is
+// split into contiguous chunks whose boundaries depend only on the range and
+// the grain — never on the thread count — and chunks either write disjoint
+// outputs (parallel_for) or produce per-chunk partials that are merged
+// serially in chunk order (parallel_reduce). Which thread executes which
+// chunk is scheduling noise; the numeric result is bit-identical whether the
+// pool has 1 thread or 64. That is what lets the determinism tests assert
+// threads=7 reproduces threads=1 exactly.
+//
+// There is deliberately no work stealing and no dynamic load balancing
+// beyond threads pulling the next fixed chunk off a shared counter: the
+// kernels here are regular (rows of the same width), so static chunking
+// loses nothing and buys reproducibility.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace inframe::util {
+
+// A reference to a callable taking a half-open index range. Using
+// std::function at the chunk granularity (tens of rows) keeps the ABI simple;
+// the indirection is amortized over the chunk body.
+using Range_fn = std::function<void(std::int64_t begin, std::int64_t end)>;
+
+class Thread_pool {
+public:
+    // threads = 0 picks std::thread::hardware_concurrency(); threads = 1 is
+    // a serial pool (no worker threads, parallel_for runs inline).
+    explicit Thread_pool(int threads = 0);
+    ~Thread_pool();
+
+    Thread_pool(const Thread_pool&) = delete;
+    Thread_pool& operator=(const Thread_pool&) = delete;
+
+    // Total execution lanes including the calling thread.
+    int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+    // Runs fn over [begin, end) in chunks of `grain` indices. The calling
+    // thread participates; returns once every chunk has run. Exceptions
+    // thrown by fn are captured (first wins) and rethrown on the caller.
+    // Chunk boundaries depend only on (begin, end, grain).
+    //
+    // Calls from inside a worker (nested parallelism) run serially inline —
+    // the outer parallel_for already owns the lanes.
+    void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                      const Range_fn& fn);
+
+    static int hardware_threads();
+
+private:
+    struct Job;
+    void worker_loop();
+    void run_chunks(Job& job);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::shared_ptr<Job> job_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+// --- Ambient execution context -------------------------------------------
+//
+// The kernels (imgproc, channel, coding, core) call the free functions below
+// instead of carrying a pool through every signature. The ambient thread
+// count is process-global; because results are thread-count-invariant it
+// only affects speed, never output. Default is 1 (serial) so library users
+// opt in explicitly — run_link_experiment and friends install the configured
+// count via Parallel_scope.
+
+// Resolves a user-facing knob: 0 -> hardware concurrency, otherwise
+// clamped to >= 1.
+int resolve_threads(int requested);
+
+// Sets the ambient thread count (resolve_threads applied). The pool is
+// (re)built lazily on first use after a change. Not safe to call
+// concurrently with in-flight parallel work.
+void set_parallel_threads(int threads);
+
+// Current ambient thread count (after resolution).
+int parallel_threads();
+
+// RAII guard: installs a thread count, restores the previous one.
+class Parallel_scope {
+public:
+    explicit Parallel_scope(int threads);
+    ~Parallel_scope();
+    Parallel_scope(const Parallel_scope&) = delete;
+    Parallel_scope& operator=(const Parallel_scope&) = delete;
+
+private:
+    int previous_;
+};
+
+// parallel_for over the ambient pool.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const Range_fn& fn);
+
+// Deterministic reduction: [begin, end) is cut into fixed slices of `grain`
+// indices; map(slice_begin, slice_end) produces one partial per slice, and
+// the partials are folded into `init` serially in slice order via
+// merge(acc, partial). Slice boundaries — and therefore floating-point
+// association — depend only on the range and grain, so the result is
+// bit-identical for every thread count.
+template <typename T, typename Map, typename Merge>
+T parallel_reduce(std::int64_t begin, std::int64_t end, std::int64_t grain, T init,
+                  Map&& map, Merge&& merge)
+{
+    if (end <= begin) return init;
+    if (grain < 1) grain = 1;
+    const std::int64_t slices = (end - begin + grain - 1) / grain;
+    std::vector<T> partials(static_cast<std::size_t>(slices));
+    parallel_for(0, slices, 1, [&](std::int64_t s0, std::int64_t s1) {
+        for (std::int64_t s = s0; s < s1; ++s) {
+            const std::int64_t b = begin + s * grain;
+            const std::int64_t e = std::min<std::int64_t>(end, b + grain);
+            partials[static_cast<std::size_t>(s)] = map(b, e);
+        }
+    });
+    for (auto& partial : partials) init = merge(std::move(init), std::move(partial));
+    return init;
+}
+
+} // namespace inframe::util

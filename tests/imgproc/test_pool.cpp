@@ -1,0 +1,97 @@
+#include "imgproc/pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using inframe::img::Frame_pool;
+using inframe::img::Imagef;
+
+TEST(FramePool, RecycledStorageIsReused)
+{
+    auto& pool = Frame_pool::instance();
+    pool.clear();
+    const auto reuses_before = pool.reuse_count();
+
+    Imagef a = pool.acquire(64, 32, 3);
+    const float* storage = a.values().data();
+    pool.recycle(std::move(a));
+    EXPECT_EQ(pool.pooled(), 1u);
+
+    Imagef b = pool.acquire(64, 32, 3);
+    EXPECT_EQ(b.values().data(), storage);
+    EXPECT_EQ(pool.pooled(), 0u);
+    EXPECT_EQ(pool.reuse_count(), reuses_before + 1);
+    pool.clear();
+}
+
+TEST(FramePool, AcquireWithFillInitializes)
+{
+    auto& pool = Frame_pool::instance();
+    pool.clear();
+    // Park a dirty buffer so the fill path exercises reuse.
+    Imagef dirty = pool.acquire(8, 8, 1);
+    for (auto& v : dirty.values()) v = 99.0f;
+    pool.recycle(std::move(dirty));
+
+    const Imagef filled = pool.acquire(8, 8, 1, 0.0f);
+    for (const float v : filled.values()) EXPECT_EQ(v, 0.0f);
+    pool.clear();
+}
+
+TEST(FramePool, SmallerFrameFitsInLargerBuffer)
+{
+    auto& pool = Frame_pool::instance();
+    pool.clear();
+    Imagef big = pool.acquire(100, 100, 3);
+    const float* storage = big.values().data();
+    pool.recycle(std::move(big));
+    const auto reuses_before = pool.reuse_count();
+
+    Imagef small = pool.acquire(10, 10, 1);
+    EXPECT_EQ(small.width(), 10);
+    EXPECT_EQ(small.height(), 10);
+    EXPECT_EQ(small.channels(), 1);
+    EXPECT_EQ(small.values().size(), 100u);
+    EXPECT_EQ(small.values().data(), storage); // storage came from the pool
+    EXPECT_EQ(pool.reuse_count(), reuses_before + 1);
+    EXPECT_EQ(pool.pooled(), 0u);
+    pool.clear();
+}
+
+TEST(FramePool, RecyclingEmptyFrameIsNoOp)
+{
+    auto& pool = Frame_pool::instance();
+    pool.clear();
+    pool.recycle(Imagef{});
+    Imagef moved_from = pool.acquire(4, 4, 1);
+    [[maybe_unused]] const Imagef taken = std::move(moved_from);
+    pool.recycle(std::move(moved_from)); // NOLINT: deliberate use-after-move
+    EXPECT_EQ(pool.pooled(), 0u);
+    pool.clear();
+}
+
+TEST(FramePool, CapIsEnforced)
+{
+    auto& pool = Frame_pool::instance();
+    pool.clear();
+    // Fresh frames (not drawn from the pool) so the freelist actually grows.
+    for (std::size_t i = 0; i < Frame_pool::max_pooled + 5; ++i) {
+        pool.recycle(Imagef(4, 4, 1));
+    }
+    EXPECT_LE(pool.pooled(), Frame_pool::max_pooled);
+    pool.clear();
+}
+
+TEST(FramePool, TakeStorageRoundTrip)
+{
+    Imagef img(6, 5, 3);
+    img(3, 2, 1) = 7.5f;
+    auto storage = img.take_storage();
+    EXPECT_EQ(img.width(), 0);
+    EXPECT_EQ(storage.size(), 90u);
+    const Imagef rebuilt(6, 5, 3, std::move(storage));
+    EXPECT_EQ(rebuilt.values().size(), 90u);
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+#include "util/thread_pool.hpp"
+
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using inframe::util::Contract_violation;
+using inframe::util::Parallel_scope;
+using inframe::util::Thread_pool;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    Thread_pool pool(4);
+    constexpr std::int64_t n = 1003;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(0, n, 7, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkBoundariesDependOnGrainNotThreads)
+{
+    // The set of (begin, end) chunk pairs must be identical for every pool
+    // size — that is the determinism contract.
+    auto chunks_with = [](int threads) {
+        Thread_pool pool(threads);
+        std::mutex mutex;
+        std::set<std::pair<std::int64_t, std::int64_t>> chunks;
+        pool.parallel_for(5, 250, 16, [&](std::int64_t b, std::int64_t e) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            chunks.emplace(b, e);
+        });
+        return chunks;
+    };
+    const auto serial = chunks_with(1);
+    EXPECT_EQ(chunks_with(2), serial);
+    EXPECT_EQ(chunks_with(4), serial);
+    EXPECT_EQ(chunks_with(7), serial);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing)
+{
+    Thread_pool pool(3);
+    int calls = 0;
+    pool.parallel_for(10, 10, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+    pool.parallel_for(10, 3, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline)
+{
+    Thread_pool pool(1);
+    EXPECT_EQ(pool.thread_count(), 1);
+    std::vector<std::int64_t> order;
+    pool.parallel_for(0, 40, 10, [&](std::int64_t b, std::int64_t) {
+        order.push_back(b); // safe: no workers, runs on this thread
+    });
+    EXPECT_EQ(order, (std::vector<std::int64_t>{0, 10, 20, 30}));
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller)
+{
+    Thread_pool pool(4);
+    EXPECT_THROW(pool.parallel_for(0, 100, 1,
+                                   [&](std::int64_t b, std::int64_t) {
+                                       if (b == 37) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // The pool survives a failed job and runs the next one.
+    std::atomic<int> sum{0};
+    pool.parallel_for(0, 10, 1, [&](std::int64_t b, std::int64_t) { sum += static_cast<int>(b); });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedCallsFallBackToSerial)
+{
+    Thread_pool pool(4);
+    std::atomic<int> inner_total{0};
+    pool.parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+        // Nested: must run inline on this lane instead of deadlocking.
+        pool.parallel_for(0, 4, 1,
+                          [&](std::int64_t, std::int64_t) { ++inner_total; });
+    });
+    EXPECT_EQ(inner_total.load(), 8 * 4);
+}
+
+TEST(ThreadPool, ResolveThreads)
+{
+    EXPECT_EQ(inframe::util::resolve_threads(0), Thread_pool::hardware_threads());
+    EXPECT_EQ(inframe::util::resolve_threads(1), 1);
+    EXPECT_EQ(inframe::util::resolve_threads(5), 5);
+    EXPECT_THROW(inframe::util::resolve_threads(-1), Contract_violation);
+}
+
+TEST(ThreadPool, ParallelScopeInstallsAndRestores)
+{
+    const int before = inframe::util::parallel_threads();
+    {
+        const Parallel_scope scope(3);
+        EXPECT_EQ(inframe::util::parallel_threads(), 3);
+        {
+            const Parallel_scope inner(1);
+            EXPECT_EQ(inframe::util::parallel_threads(), 1);
+        }
+        EXPECT_EQ(inframe::util::parallel_threads(), 3);
+    }
+    EXPECT_EQ(inframe::util::parallel_threads(), before);
+}
+
+TEST(ThreadPool, AmbientParallelForMatchesSerial)
+{
+    constexpr std::int64_t n = 517;
+    auto run = [&](int threads) {
+        const Parallel_scope scope(threads);
+        std::vector<int> out(n, 0);
+        inframe::util::parallel_for(0, n, 13, [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) out[static_cast<std::size_t>(i)] = static_cast<int>(i * 3);
+        });
+        return out;
+    };
+    const auto serial = run(1);
+    EXPECT_EQ(run(2), serial);
+    EXPECT_EQ(run(4), serial);
+    EXPECT_EQ(run(7), serial);
+}
+
+TEST(ThreadPool, ParallelReduceIsBitIdenticalAcrossThreadCounts)
+{
+    // Floating-point association must depend on the slice grain only: the
+    // sums below differ when re-associated, so bit equality across thread
+    // counts is a real test, not a triviality.
+    constexpr std::int64_t n = 10'007;
+    std::vector<double> values(n);
+    double x = 0.1;
+    for (auto& v : values) {
+        v = x;
+        x = x * 1.000137 + 0.00317; // spread magnitudes
+    }
+    auto sum_with = [&](int threads) {
+        const Parallel_scope scope(threads);
+        return inframe::util::parallel_reduce(
+            0, n, 64, 0.0,
+            [&](std::int64_t b, std::int64_t e) {
+                double s = 0.0;
+                for (std::int64_t i = b; i < e; ++i) s += values[static_cast<std::size_t>(i)];
+                return s;
+            },
+            [](double acc, double partial) { return acc + partial; });
+    };
+    const double serial = sum_with(1);
+    EXPECT_EQ(sum_with(2), serial); // bitwise, not NEAR
+    EXPECT_EQ(sum_with(4), serial);
+    EXPECT_EQ(sum_with(7), serial);
+    const double plain = std::accumulate(values.begin(), values.end(), 0.0);
+    EXPECT_NEAR(serial, plain, std::abs(plain) * 1e-9);
+}
+
+TEST(ThreadPool, ParallelReduceHandlesEmptyAndPartialSlices)
+{
+    const Parallel_scope scope(4);
+    const double empty = inframe::util::parallel_reduce(
+        3, 3, 8, -1.0, [](std::int64_t, std::int64_t) { return 100.0; },
+        [](double a, double b) { return a + b; });
+    EXPECT_EQ(empty, -1.0);
+
+    // 10 indices with grain 4 -> slices [0,4) [4,8) [8,10).
+    const double count = inframe::util::parallel_reduce(
+        0, 10, 4, 0.0,
+        [](std::int64_t b, std::int64_t e) { return static_cast<double>(e - b); },
+        [](double a, double b) { return a + b; });
+    EXPECT_EQ(count, 10.0);
+}
+
+} // namespace
