@@ -3,6 +3,7 @@
 
 #include "util/csv.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -11,14 +12,18 @@
 namespace inframe::bench {
 
 // Scale of an experiment run, selectable from the command line:
-//   --quick : fastest sanity pass
+//   --smoke : CI bitrot check — shortest run that still exercises the
+//             whole pipeline (registered as a ctest with the `bench`
+//             label)
+//   --quick : fastest sanity pass a human would read numbers from
 //   (none)  : default, balances fidelity and runtime
 //   --full  : longest runs (closest statistics)
-enum class Run_scale { quick, normal, full };
+enum class Run_scale { smoke, quick, normal, full };
 
 inline Run_scale parse_scale(int argc, char** argv)
 {
     for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) return Run_scale::smoke;
         if (std::strcmp(argv[i], "--quick") == 0) return Run_scale::quick;
         if (std::strcmp(argv[i], "--full") == 0) return Run_scale::full;
     }
@@ -28,6 +33,10 @@ inline Run_scale parse_scale(int argc, char** argv)
 inline double scale_duration(Run_scale scale, double quick, double normal, double full)
 {
     switch (scale) {
+    // A smoke run shrinks the quick duration but never below ~3 data
+    // frames (0.3 s at the default 120 Hz / tau 12), so every stage of
+    // the pipeline still runs end to end.
+    case Run_scale::smoke: return std::min(quick, 0.3);
     case Run_scale::quick: return quick;
     case Run_scale::normal: return normal;
     case Run_scale::full: return full;

@@ -113,8 +113,11 @@ void bm_reed_solomon_decode(benchmark::State& state)
     std::vector<std::uint8_t> data(63);
     prng.fill_bytes(data);
     auto codeword = rs.encode(data);
+    // Stride 11 is coprime to n = 140, so the positions stay distinct
+    // after the wrap (and inside the codeword — 11 * 29 + 3 = 322 would
+    // write past the 140-byte buffer).
     for (int e = 0; e < static_cast<int>(state.range(0)); ++e) {
-        codeword[static_cast<std::size_t>(11 * e + 3)] ^= 0xa5;
+        codeword[static_cast<std::size_t>(11 * e + 3) % codeword.size()] ^= 0xa5;
     }
     for (auto _ : state) {
         benchmark::DoNotOptimize(rs.decode(codeword));

@@ -16,6 +16,14 @@ Screen_camera_link::Screen_camera_link(Display_params display, Camera_params cam
     util::expects(camera.phase_offset_s >= 0.0, "camera phase offset must be non-negative");
 }
 
+Screen_camera_link::Screen_camera_link(Display_params display, Camera_params camera,
+                                       int screen_width, int screen_height,
+                                       const Impairment_config& impairments)
+    : Screen_camera_link(display, camera, screen_width, screen_height)
+{
+    impairments_ = make_impairment_chain(impairments);
+}
+
 bool Screen_camera_link::capture_complete(double now) const
 {
     // Capture k is complete once the last row's exposure window has ended.
@@ -40,8 +48,19 @@ std::vector<Capture> Screen_camera_link::push_display_frame(const img::Imagef& f
     std::vector<Capture> completed;
     const double now = static_cast<double>(display_index_) * period;
     while (capture_complete(now)) {
-        completed.push_back(assemble_capture());
+        Capture capture = assemble_capture();
         ++capture_index_;
+        // Captures flow through the impairment chain serially in index
+        // order; each stage's draws are a pure function of the capture
+        // index, so the impaired stream is bit-identical at any thread
+        // count.
+        if (!impairments_.empty()
+            && impairments_.apply(capture.image, capture.index) == Capture_fate::dropped) {
+            ++captures_dropped_;
+            img::Frame_pool::instance().recycle(std::move(capture.image));
+            continue;
+        }
+        completed.push_back(std::move(capture));
     }
     trim_buffer();
     return completed;
@@ -112,9 +131,16 @@ void Screen_camera_link::trim_buffer()
 std::vector<Capture> run_link(const Display_params& display, const Camera_params& camera,
                               std::span<const img::Imagef> display_frames)
 {
+    return run_link(display, camera, Impairment_config{}, display_frames);
+}
+
+std::vector<Capture> run_link(const Display_params& display, const Camera_params& camera,
+                              const Impairment_config& impairments,
+                              std::span<const img::Imagef> display_frames)
+{
     util::expects(!display_frames.empty(), "run_link needs display frames");
     Screen_camera_link link(display, camera, display_frames[0].width(),
-                            display_frames[0].height());
+                            display_frames[0].height(), impairments);
     std::vector<Capture> captures;
     for (const auto& frame : display_frames) {
         auto completed = link.push_display_frame(frame);

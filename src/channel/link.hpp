@@ -12,6 +12,7 @@
 
 #include "channel/camera.hpp"
 #include "channel/display.hpp"
+#include "channel/impairment.hpp"
 
 #include <cstdint>
 #include <deque>
@@ -34,13 +35,21 @@ public:
     Screen_camera_link(Display_params display, Camera_params camera, int screen_width,
                        int screen_height);
 
+    // Same link with a fault-injection chain applied to every completed
+    // capture (drops, duplication, drift, shake, tear, occlusion).
+    Screen_camera_link(Display_params display, Camera_params camera, int screen_width,
+                       int screen_height, const Impairment_config& impairments);
+
     // Pushes the next logical display frame (refresh cadence). Returns the
     // captures completed by the end of this refresh interval (usually zero
-    // or one).
+    // or one). Captures the impairment chain drops never appear here.
     std::vector<Capture> push_display_frame(const img::Imagef& frame);
 
     // Number of display frames pushed so far.
     std::int64_t display_frames_pushed() const { return display_index_; }
+
+    // Captures the impairment chain swallowed so far.
+    std::int64_t captures_dropped() const { return captures_dropped_; }
 
     // Expected captures per second.
     double capture_rate() const { return camera_params_.fps; }
@@ -62,14 +71,21 @@ private:
     Display_model display_;
     Camera_params camera_params_;
     Camera_optics optics_;
+    Impairment_chain impairments_;
     std::deque<Buffered_frame> buffer_;
     std::int64_t display_index_ = 0;
     std::int64_t capture_index_ = 0;
+    std::int64_t captures_dropped_ = 0;
 };
 
 // Convenience: run a prepared sequence of display frames through a fresh
 // link and collect all completed captures.
 std::vector<Capture> run_link(const Display_params& display, const Camera_params& camera,
+                              std::span<const img::Imagef> display_frames);
+
+// Same, with a fault-injection chain on the capture stream.
+std::vector<Capture> run_link(const Display_params& display, const Camera_params& camera,
+                              const Impairment_config& impairments,
                               std::span<const img::Imagef> display_frames);
 
 } // namespace inframe::channel

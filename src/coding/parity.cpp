@@ -37,7 +37,7 @@ std::vector<std::uint8_t> encode_gob_parity(const Code_geometry& geometry,
 
 Frame_decode_result decode_gob_parity(const Code_geometry& geometry,
                                       std::span<const Block_decision> block_decisions,
-                                      std::uint8_t fill_bit)
+                                      std::uint8_t fill_bit, bool erasure_fill)
 {
     geometry.validate();
     util::expects(block_decisions.size() == static_cast<std::size_t>(geometry.block_count()),
@@ -55,6 +55,9 @@ Frame_decode_result decode_gob_parity(const Code_geometry& geometry,
             status.available = true;
             std::uint8_t parity = 0;
             std::uint8_t parity_block = 0;
+            int unknown_count = 0;
+            int unknown_slot = -1; // raster slot within the GOB, parity last
+            std::uint8_t known_xor = 0; // XOR of every known block, parity included
             for (int j = 0; j < m; ++j) {
                 for (int i = 0; i < m; ++i) {
                     const int bx = gx * m + i;
@@ -63,9 +66,19 @@ Frame_decode_result decode_gob_parity(const Code_geometry& geometry,
                         block_decisions[static_cast<std::size_t>(geometry.block_index(bx, by))];
                     if (decision == Block_decision::unknown) {
                         status.available = false;
+                        ++unknown_count;
+                        unknown_slot = j * m + i;
+                        if (erasure_fill && unknown_count == 1) {
+                            // Hold the slot so a reconstructed bit can
+                            // land in frame order.
+                            if (!(j == m - 1 && i == m - 1)) {
+                                status.payload_bits.push_back(0);
+                            }
+                        }
                         continue;
                     }
                     const std::uint8_t bit = decision == Block_decision::one ? 1 : 0;
+                    known_xor ^= bit;
                     if (j == m - 1 && i == m - 1) {
                         parity_block = bit;
                     } else {
@@ -74,9 +87,27 @@ Frame_decode_result decode_gob_parity(const Code_geometry& geometry,
                     }
                 }
             }
+            if (erasure_fill && unknown_count == 1) {
+                // One erasure: the parity equation (XOR of all m*m blocks
+                // is 0) has a single unknown. Reconstruct it — or, when
+                // the parity block itself was erased, accept the complete
+                // payload unverified.
+                status.available = true;
+                status.recovered = true;
+                status.parity_ok = true;
+                ++result.recovered_gobs;
+                if (unknown_slot != m * m - 1) {
+                    status.payload_bits[static_cast<std::size_t>(unknown_slot)] = known_xor;
+                }
+            } else if (erasure_fill && unknown_count > 1) {
+                // Placeholder from the first erasure is meaningless with
+                // two or more missing blocks; drop partial bits the way
+                // the hard-decision path leaves them.
+                status.payload_bits.clear();
+            }
             if (status.available) {
                 ++available;
-                status.parity_ok = parity == parity_block;
+                if (!status.recovered) status.parity_ok = parity == parity_block;
                 if (!status.parity_ok) ++erroneous;
             }
             const bool trusted = status.available && status.parity_ok;

@@ -25,6 +25,11 @@ void Decoder_params::validate() const
     util::expects(stable_fraction > 0.0 && stable_fraction <= 1.0,
                   "decoder: stable fraction must be in (0, 1]");
     util::expects(min_signal_level >= 0.0, "decoder: signal floor must be non-negative");
+    util::expects(occlusion_level_fraction >= 0.0 && occlusion_level_fraction < 1.0,
+                  "decoder: occlusion level fraction must be in [0, 1)");
+    util::expects(occlusion_level_floor >= 0.0,
+                  "decoder: occlusion level floor must be non-negative");
+    util::expects(max_frame_gap >= 1, "decoder: frame gap cap must be positive");
 }
 
 const char* to_string(Detector detector)
@@ -47,6 +52,7 @@ Inframe_decoder::Inframe_decoder(Decoder_params params) : params_(std::move(para
     smooth_radius_ =
         std::max(1, static_cast<int>(std::lround(params_.geometry.pixel_size * scale_x_ * 0.75)));
     metric_sum_.assign(static_cast<std::size_t>(params_.geometry.block_count()), 0.0);
+    level_sum_.assign(static_cast<std::size_t>(params_.geometry.block_count()), 0.0);
     util::expects(!params_.capture_to_screen || params_.detector == Detector::matched,
                   "decoder: perspective capture requires the matched detector");
     if (params_.detector == Detector::matched) build_template();
@@ -127,6 +133,38 @@ std::vector<double> Inframe_decoder::block_metrics(const img::Imagef& capture) c
     }
     return params_.detector == Detector::matched ? matched_metrics(capture)
                                                  : noise_level_metrics(capture);
+}
+
+std::vector<double> Inframe_decoder::block_levels(const img::Imagef& capture) const
+{
+    util::expects(capture.width() == params_.capture_width
+                      && capture.height() == params_.capture_height,
+                  "decoder: capture size mismatch");
+    const img::Imagef gray = capture.channels() == 1 ? img::Imagef() : img::to_gray(capture);
+    const img::Imagef& luma = capture.channels() == 1 ? capture : gray;
+
+    const auto& g = params_.geometry;
+    std::vector<double> levels(static_cast<std::size_t>(g.block_count()), 0.0);
+    // Same block->capture-rectangle mapping as the noise-level detector;
+    // each block writes one slot, so rows fan out with no shared state.
+    util::parallel_for(0, g.blocks_y, 1, [&](std::int64_t by0, std::int64_t by1) {
+        for (int by = static_cast<int>(by0); by < static_cast<int>(by1); ++by) {
+            for (int bx = 0; bx < g.blocks_x; ++bx) {
+                const auto rect = g.block_rect(bx, by);
+                int cx0 = static_cast<int>(std::ceil(rect.x0 * scale_x_)) + 1;
+                int cy0 = static_cast<int>(std::ceil(rect.y0 * scale_y_)) + 1;
+                int cx1 = static_cast<int>(std::floor((rect.x0 + rect.size) * scale_x_)) - 1;
+                int cy1 = static_cast<int>(std::floor((rect.y0 + rect.size) * scale_y_)) - 1;
+                cx0 = std::clamp(cx0, 0, luma.width() - 1);
+                cy0 = std::clamp(cy0, 0, luma.height() - 1);
+                cx1 = std::clamp(cx1, cx0 + 1, luma.width());
+                cy1 = std::clamp(cy1, cy0 + 1, luma.height());
+                levels[static_cast<std::size_t>(g.block_index(bx, by))] =
+                    img::mean_region(luma, cx0, cy0, cx1 - cx0, cy1 - cy0);
+            }
+        }
+    });
+    return levels;
 }
 
 std::vector<double> Inframe_decoder::matched_metrics(const img::Imagef& capture) const
@@ -328,8 +366,21 @@ std::vector<Data_frame_result> Inframe_decoder::push_capture(const img::Imagef& 
     std::vector<Data_frame_result> finalized;
 
     const double frame_period = params_.tau / params_.display_fps;
-    const std::int64_t frame_index = static_cast<std::int64_t>(start_time / frame_period);
+    // Saturate instead of casting out-of-range doubles (UB): a garbage
+    // timestamp lands on the gap cap below, not on undefined behavior.
+    const double raw_index = start_time / frame_period;
+    constexpr double index_limit = 4.0e18; // comfortably inside int64
+    const std::int64_t frame_index =
+        raw_index >= index_limit ? static_cast<std::int64_t>(index_limit)
+                                 : static_cast<std::int64_t>(raw_index);
 
+    // Cap the number of idle frames emitted for one capture: a wildly
+    // future timestamp (clock glitch, fuzzed input) must not turn into
+    // millions of empty results. Frames beyond the cap are skipped.
+    if (frame_index - current_frame_ > params_.max_frame_gap) {
+        finalized.push_back(finalize());
+        current_frame_ = frame_index;
+    }
     while (frame_index > current_frame_) {
         finalized.push_back(finalize());
     }
@@ -343,6 +394,10 @@ std::vector<Data_frame_result> Inframe_decoder::push_capture(const img::Imagef& 
     if (phase < params_.stable_fraction - 1e-9) {
         const auto metrics = block_metrics(capture);
         for (std::size_t i = 0; i < metrics.size(); ++i) metric_sum_[i] += metrics[i];
+        if (params_.erasure_aware) {
+            const auto levels = block_levels(capture);
+            for (std::size_t i = 0; i < levels.size(); ++i) level_sum_[i] += levels[i];
+        }
         ++captures_in_frame_;
     }
     return finalized;
@@ -362,6 +417,32 @@ Data_frame_result Inframe_decoder::finalize()
 
     const auto block_count = static_cast<std::size_t>(params_.geometry.block_count());
     result.decisions.assign(block_count, coding::Block_decision::unknown);
+    if (params_.erasure_aware) result.erasures.assign(block_count, 0);
+
+    // Occlusion mask from the aggregated block levels: blocks far below
+    // the frame's median level are covered, not dark content — their
+    // residual metric is meaningless and must become an erasure rather
+    // than a confident zero.
+    std::vector<std::uint8_t> occluded;
+    if (params_.erasure_aware && captures_in_frame_ > 0) {
+        std::vector<double> levels(block_count);
+        for (std::size_t i = 0; i < block_count; ++i) {
+            levels[i] = level_sum_[i] / captures_in_frame_;
+        }
+        std::vector<double> sorted_levels = levels;
+        std::nth_element(sorted_levels.begin(), sorted_levels.begin() + sorted_levels.size() / 2,
+                         sorted_levels.end());
+        const double median = sorted_levels[sorted_levels.size() / 2];
+        const double cutoff =
+            std::max(params_.occlusion_level_floor, params_.occlusion_level_fraction * median);
+        occluded.assign(block_count, 0);
+        for (std::size_t i = 0; i < block_count; ++i) {
+            if (levels[i] < cutoff) {
+                occluded[i] = 1;
+                ++result.occluded_blocks;
+            }
+        }
+    }
 
     if (captures_in_frame_ > 0) {
         std::vector<double> metrics(block_count);
@@ -398,10 +479,26 @@ Data_frame_result Inframe_decoder::finalize()
             result.threshold = threshold;
             classify(0, block_count, threshold);
         }
+
+        if (params_.erasure_aware) {
+            // Occluded blocks are erasures no matter how confidently the
+            // (meaningless) metric classified them; ambiguous blocks —
+            // still unknown after classification — are erasures too.
+            for (std::size_t i = 0; i < block_count; ++i) {
+                if (!occluded.empty() && occluded[i]) {
+                    result.decisions[i] = coding::Block_decision::unknown;
+                    result.erasures[i] = 1;
+                } else if (result.decisions[i] == coding::Block_decision::unknown) {
+                    result.erasures[i] = 1;
+                }
+            }
+        }
     }
-    result.gob = coding::decode_gob_parity(params_.geometry, result.decisions);
+    result.gob = coding::decode_gob_parity(params_.geometry, result.decisions, 0,
+                                           params_.erasure_aware);
 
     std::fill(metric_sum_.begin(), metric_sum_.end(), 0.0);
+    std::fill(level_sum_.begin(), level_sum_.end(), 0.0);
     captures_in_frame_ = 0;
     ++current_frame_;
     return result;

@@ -93,6 +93,26 @@ struct Decoder_params {
     // beyond this fraction are ignored (transition region).
     double stable_fraction = 0.5;
 
+    // Erasure-aware decoding. Blocks flagged unreliable — metric inside
+    // the hysteresis band, or mean level far below the frame's median
+    // (an occluder in front of the lens) — become erasures instead of
+    // hard bits, and the GOB parity layer fills single-erasure GOBs
+    // (decode_gob_parity erasure_fill). Off reproduces the paper's
+    // hard-decision strawman.
+    bool erasure_aware = false;
+
+    // Occlusion mask: a block whose mean captured level is below
+    // max(occlusion_level_floor, occlusion_level_fraction * median block
+    // level) is treated as occluded. Only consulted when erasure_aware.
+    double occlusion_level_fraction = 0.35;
+    double occlusion_level_floor = 16.0;
+
+    // Hard cap on the number of idle data frames finalized per capture:
+    // a capture timestamped far in the future would otherwise emit one
+    // result per skipped frame (unbounded work from one bad input). The
+    // region beyond the cap is skipped silently.
+    std::int64_t max_frame_gap = 1024;
+
     void validate() const;
 };
 
@@ -101,6 +121,15 @@ struct Data_frame_result {
     int captures_used = 0;
     double threshold = 0.0;
     std::vector<coding::Block_decision> decisions;
+
+    // Parallel to decisions (erasure-aware mode): 1 where the block was
+    // flagged as an erasure (ambiguous metric or occlusion) rather than
+    // decided. Empty when erasure_aware is off.
+    std::vector<std::uint8_t> erasures;
+
+    // Blocks the occlusion mask flagged (subset of erasures).
+    int occluded_blocks = 0;
+
     coding::Frame_decode_result gob;
 };
 
@@ -121,6 +150,11 @@ public:
     // Per-block residual metrics for one capture (exposed for analysis
     // and benches).
     std::vector<double> block_metrics(const img::Imagef& capture) const;
+
+    // Per-block mean captured level (luminance). The occlusion mask is
+    // built from these: an opaque occluder pulls whole blocks far below
+    // the frame's median level.
+    std::vector<double> block_levels(const img::Imagef& capture) const;
 
     // Otsu split of a metric vector. bimodal is false when the two
     // classes are not separated (no detectable signal population).
@@ -159,6 +193,7 @@ private:
 
     std::int64_t current_frame_ = 0;
     std::vector<double> metric_sum_;
+    std::vector<double> level_sum_; // erasure-aware mode only
     int captures_in_frame_ = 0;
 };
 

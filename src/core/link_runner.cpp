@@ -35,6 +35,7 @@ Link_experiment_result run_link_experiment(const Link_experiment_config& config)
     decoder_params.fixed_threshold = config.fixed_threshold;
     decoder_params.hysteresis = config.hysteresis;
     decoder_params.capture_to_screen = config.decoder_capture_to_screen;
+    decoder_params.erasure_aware = config.erasure_aware;
     Inframe_decoder decoder(decoder_params);
 
     channel::Camera_params camera = config.camera;
@@ -43,7 +44,8 @@ Link_experiment_result run_link_experiment(const Link_experiment_config& config)
     }
     channel::Screen_camera_link link(config.display, camera,
                                      config.inframe.geometry.screen_width,
-                                     config.inframe.geometry.screen_height);
+                                     config.inframe.geometry.screen_height,
+                                     config.impairments);
 
     // The paper drives the channel from "a pseudo-random data generator
     // with a pre-set seed"; queue enough random data frames up front.
@@ -88,9 +90,36 @@ Link_experiment_result run_link_experiment(const Link_experiment_config& config)
     std::size_t total_blocks = 0;
     std::size_t trusted_bits = 0;
     std::size_t trusted_bit_errors = 0;
+    std::size_t payload_bits_total = 0;
+    std::size_t payload_bit_errors = 0;
+    std::size_t recovered_gobs = 0;
+    std::size_t counted_gobs = 0;
+    std::size_t occluded_blocks = 0;
     int captures_used = 0;
 
     const auto& geometry = config.inframe.geometry;
+
+    // Transmitted payload bits of one data frame, recovered from the
+    // block-bit truth by dropping each GOB's parity block (the inverse of
+    // encode_gob_parity's insertion).
+    const auto truth_payload = [&](const std::vector<std::uint8_t>& truth_blocks) {
+        std::vector<std::uint8_t> payload;
+        payload.reserve(static_cast<std::size_t>(geometry.payload_bits_per_frame()));
+        const int m = geometry.gob_size;
+        for (int gy = 0; gy < geometry.gobs_y(); ++gy) {
+            for (int gx = 0; gx < geometry.gobs_x(); ++gx) {
+                for (int j = 0; j < m; ++j) {
+                    for (int i = 0; i < m; ++i) {
+                        if (j == m - 1 && i == m - 1) continue;
+                        payload.push_back(truth_blocks[static_cast<std::size_t>(
+                            geometry.block_index(gx * m + i, gy * m + j))]);
+                    }
+                }
+            }
+        }
+        return payload;
+    };
+
     for (const auto& result : results) {
         // Only fully transmitted data frames count (the tail may be cut).
         if ((result.data_frame_index + 1) * config.inframe.tau > total_display_frames) continue;
@@ -101,6 +130,16 @@ Link_experiment_result run_link_experiment(const Link_experiment_config& config)
         available.add(result.gob.available_ratio);
         errors.add(result.gob.error_rate);
         good_bits += result.gob.good_payload_bits;
+        recovered_gobs += result.gob.recovered_gobs;
+        counted_gobs += result.gob.gobs.size();
+        occluded_blocks += static_cast<std::size_t>(result.occluded_blocks);
+
+        // End-to-end payload BER against the transmitted payload.
+        const auto expected_payload = truth_payload(*truth);
+        for (std::size_t b = 0; b < expected_payload.size(); ++b) {
+            ++payload_bits_total;
+            if (result.gob.payload_bits[b] != expected_payload[b]) ++payload_bit_errors;
+        }
 
         for (std::size_t b = 0; b < result.decisions.size(); ++b) {
             ++total_blocks;
@@ -152,6 +191,14 @@ Link_experiment_result run_link_experiment(const Link_experiment_config& config)
         total_blocks > 0 ? static_cast<double>(unknown_blocks) / total_blocks : 0.0;
     out.trusted_bit_error_rate =
         trusted_bits > 0 ? static_cast<double>(trusted_bit_errors) / trusted_bits : 0.0;
+    out.payload_bit_error_rate =
+        payload_bits_total > 0 ? static_cast<double>(payload_bit_errors) / payload_bits_total
+                               : 0.0;
+    out.recovered_gob_ratio =
+        counted_gobs > 0 ? static_cast<double>(recovered_gobs) / counted_gobs : 0.0;
+    out.occluded_block_ratio =
+        total_blocks > 0 ? static_cast<double>(occluded_blocks) / total_blocks : 0.0;
+    out.captures_dropped = link.captures_dropped();
     return out;
 }
 

@@ -25,6 +25,11 @@ struct Link_experiment_config {
     channel::Display_params display;
     channel::Camera_params camera;
 
+    // Fault-injection chain applied to the capture stream (drops, stale
+    // duplication, exposure drift, shake, tear, occlusion). Defaults to
+    // the clean lab link.
+    channel::Impairment_config impairments;
+
     // Meter the camera against the first video frame (channel::auto_expose)
     // before the run, as a phone camera locked once at session start would.
     bool auto_exposure = true;
@@ -36,6 +41,10 @@ struct Link_experiment_config {
     double fixed_threshold = 2.0;
     double hysteresis = 0.2;
     std::optional<img::Homography> decoder_capture_to_screen;
+
+    // Erasure-aware receive path (Decoder_params::erasure_aware): flagged
+    // blocks become erasures and GOB parity fills single-erasure GOBs.
+    bool erasure_aware = false;
 
     double duration_s = 4.0;
     std::uint64_t data_seed = util::Prng::default_seed;
@@ -61,6 +70,17 @@ struct Link_experiment_result {
     double block_error_rate = 0.0;    // wrong decisions / confident decisions
     double unknown_block_ratio = 0.0; // unknown / all blocks
     double trusted_bit_error_rate = 0.0; // errors inside parity-OK GOBs
+
+    // End-to-end payload BER: decoded frame payload (untrusted positions
+    // carry the fill bit) against the transmitted payload, over every
+    // payload bit of every counted frame. The headline number the
+    // fault-injection bench compares across decode modes.
+    double payload_bit_error_rate = 0.0;
+
+    // Fault-injection accounting.
+    double recovered_gob_ratio = 0.0;  // parity-filled GOBs / all GOBs
+    double occluded_block_ratio = 0.0; // occlusion-flagged / all blocks
+    std::int64_t captures_dropped = 0; // swallowed by the impairment chain
 };
 
 Link_experiment_result run_link_experiment(const Link_experiment_config& config);

@@ -1,0 +1,257 @@
+// Erasure-aware decoding properties: RS errors-and-erasures capability
+// (2e + s <= n - k) and GOB parity erasure fill (one unknown block per
+// GOB is reconstructed from the XOR parity equation).
+
+#include "coding/geometry.hpp"
+#include "coding/parity.hpp"
+#include "coding/reed_solomon.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace {
+
+using namespace inframe;
+using namespace inframe::coding;
+
+std::vector<std::uint8_t> random_symbols(util::Prng& prng, int count)
+{
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(count));
+    for (auto& symbol : data) symbol = static_cast<std::uint8_t>(prng.next_below(256));
+    return data;
+}
+
+// Picks `count` distinct positions in [0, n).
+std::vector<int> distinct_positions(util::Prng& prng, int count, int n)
+{
+    std::vector<int> all(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    for (int i = 0; i < count; ++i) {
+        const int j = i + static_cast<int>(prng.next_below(static_cast<std::uint64_t>(n - i)));
+        std::swap(all[static_cast<std::size_t>(i)], all[static_cast<std::size_t>(j)]);
+    }
+    all.resize(static_cast<std::size_t>(count));
+    return all;
+}
+
+TEST(RsErasures, FullErasureBudgetCorrects)
+{
+    // s = n - k erasures, zero errors: double the plain-error capability.
+    const Reed_solomon code(32, 24);
+    util::Prng prng(0xe5a5u);
+    const auto data = random_symbols(prng, code.k());
+    auto received = code.encode(data);
+
+    const auto positions = distinct_positions(prng, code.parity_symbols(), code.n());
+    for (const int pos : positions) received[static_cast<std::size_t>(pos)] ^= 0x5a;
+
+    const auto decoded = code.decode_with_erasures(received, positions);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->data, data);
+    EXPECT_EQ(decoded->corrected_errors, 0);
+    // Erasures whose symbol was actually corrupted.
+    EXPECT_GT(decoded->corrected_erasures, 0);
+}
+
+TEST(RsErasures, TooManyErasuresRejected)
+{
+    const Reed_solomon code(32, 24);
+    util::Prng prng(0xe5a6u);
+    const auto data = random_symbols(prng, code.k());
+    const auto received = code.encode(data);
+    const auto positions = distinct_positions(prng, code.parity_symbols() + 1, code.n());
+    EXPECT_FALSE(code.decode_with_erasures(received, positions).has_value());
+}
+
+TEST(RsErasures, MixedErrorsAndErasuresWithinBound)
+{
+    // Property over random draws: any (e, s) with 2e + s <= n - k decodes
+    // back to the transmitted data.
+    const Reed_solomon code(48, 32);
+    util::Prng prng(0xbeefu);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto data = random_symbols(prng, code.k());
+        auto received = code.encode(data);
+
+        const int budget = code.parity_symbols();
+        const int errors = static_cast<int>(prng.next_below(
+            static_cast<std::uint64_t>(budget / 2 + 1)));
+        const int erasures = static_cast<int>(prng.next_below(
+            static_cast<std::uint64_t>(budget - 2 * errors + 1)));
+
+        const auto positions = distinct_positions(prng, errors + erasures, code.n());
+        for (int i = 0; i < errors + erasures; ++i) {
+            // Errors must actually differ; erased symbols may or may not.
+            const auto pos = static_cast<std::size_t>(positions[static_cast<std::size_t>(i)]);
+            if (i < errors) {
+                received[pos] ^= static_cast<std::uint8_t>(1 + prng.next_below(255));
+            } else if (prng.next_double() < 0.7) {
+                received[pos] = static_cast<std::uint8_t>(prng.next_below(256));
+            }
+        }
+        const std::vector<int> erased(positions.begin() + errors, positions.end());
+
+        const auto decoded = code.decode_with_erasures(received, erased);
+        ASSERT_TRUE(decoded.has_value())
+            << "trial " << trial << ": e=" << errors << " s=" << erasures;
+        EXPECT_EQ(decoded->data, data) << "trial " << trial;
+    }
+}
+
+TEST(RsErasures, ErasuresDoubleTheCorrectionPower)
+{
+    // An error pattern of n - k corrupted symbols defeats plain decoding
+    // (e > (n-k)/2) but is fully handled once every position is declared.
+    const Reed_solomon code(20, 12);
+    util::Prng prng(0x1234u);
+    const auto data = random_symbols(prng, code.k());
+    auto received = code.encode(data);
+    const auto positions = distinct_positions(prng, code.parity_symbols(), code.n());
+    for (const int pos : positions) received[static_cast<std::size_t>(pos)] ^= 0x77;
+
+    const auto plain = code.decode(received);
+    const bool plain_correct = plain.has_value() && plain->data == data;
+    EXPECT_FALSE(plain_correct) << "8 errors must defeat a 4-error code";
+
+    const auto with_erasures = code.decode_with_erasures(received, positions);
+    ASSERT_TRUE(with_erasures.has_value());
+    EXPECT_EQ(with_erasures->data, data);
+}
+
+// --- GOB parity erasure fill ------------------------------------------
+
+Code_geometry small_geometry()
+{
+    // 4x4 blocks of 2x2 GOBs -> 4 GOBs, 3 payload bits each.
+    Code_geometry geometry;
+    geometry.screen_width = 64;
+    geometry.screen_height = 64;
+    geometry.pixel_size = 2;
+    geometry.block_pixels = 8;
+    geometry.blocks_x = 4;
+    geometry.blocks_y = 4;
+    geometry.gob_size = 2;
+    geometry.validate();
+    return geometry;
+}
+
+std::vector<Block_decision> to_decisions(std::span<const std::uint8_t> block_bits)
+{
+    std::vector<Block_decision> decisions(block_bits.size());
+    std::transform(block_bits.begin(), block_bits.end(), decisions.begin(),
+                   [](std::uint8_t bit) {
+                       return bit ? Block_decision::one : Block_decision::zero;
+                   });
+    return decisions;
+}
+
+TEST(ParityErasureFill, SingleErasedBlockIsReconstructed)
+{
+    const auto geometry = small_geometry();
+    util::Prng prng(0xabcdu);
+    const auto payload =
+        prng.next_bits(static_cast<std::size_t>(geometry.payload_bits_per_frame()));
+    const auto block_bits = encode_gob_parity(geometry, payload);
+
+    // Erase one data block in every GOB (the top-left block).
+    auto decisions = to_decisions(block_bits);
+    const int m = geometry.gob_size;
+    for (int gy = 0; gy < geometry.gobs_y(); ++gy) {
+        for (int gx = 0; gx < geometry.gobs_x(); ++gx) {
+            decisions[static_cast<std::size_t>(geometry.block_index(gx * m, gy * m))] =
+                Block_decision::unknown;
+        }
+    }
+
+    const auto hard = decode_gob_parity(geometry, decisions, 0, false);
+    EXPECT_EQ(hard.available_ratio, 0.0) << "hard decisions cannot use a half-known GOB";
+    EXPECT_EQ(hard.recovered_gobs, 0u);
+
+    const auto soft = decode_gob_parity(geometry, decisions, 0, true);
+    EXPECT_EQ(soft.available_ratio, 1.0);
+    EXPECT_EQ(soft.recovered_gobs, static_cast<std::size_t>(geometry.gob_count()));
+    ASSERT_EQ(soft.payload_bits.size(), payload.size());
+    EXPECT_EQ(soft.payload_bits, payload) << "XOR fill must reproduce the erased bits exactly";
+    for (const auto& gob : soft.gobs) {
+        EXPECT_TRUE(gob.available);
+        EXPECT_TRUE(gob.parity_ok);
+        EXPECT_TRUE(gob.recovered);
+    }
+    EXPECT_TRUE(std::all_of(soft.payload_bit_trusted.begin(), soft.payload_bit_trusted.end(),
+                            [](std::uint8_t t) { return t == 1; }));
+}
+
+TEST(ParityErasureFill, ErasedParityBlockLeavesPayloadIntact)
+{
+    const auto geometry = small_geometry();
+    util::Prng prng(0x7777u);
+    const auto payload =
+        prng.next_bits(static_cast<std::size_t>(geometry.payload_bits_per_frame()));
+    auto decisions = to_decisions(encode_gob_parity(geometry, payload));
+
+    // Erase the parity (bottom-right) block of GOB (0, 0) only.
+    const int m = geometry.gob_size;
+    decisions[static_cast<std::size_t>(geometry.block_index(m - 1, m - 1))] =
+        Block_decision::unknown;
+
+    const auto soft = decode_gob_parity(geometry, decisions, 0, true);
+    EXPECT_EQ(soft.recovered_gobs, 1u);
+    EXPECT_EQ(soft.payload_bits, payload)
+        << "losing the parity block loses the check, not the payload";
+    EXPECT_TRUE(soft.gobs.front().recovered);
+}
+
+TEST(ParityErasureFill, TwoErasuresStayUnavailable)
+{
+    const auto geometry = small_geometry();
+    util::Prng prng(0x2222u);
+    const auto payload =
+        prng.next_bits(static_cast<std::size_t>(geometry.payload_bits_per_frame()));
+    auto decisions = to_decisions(encode_gob_parity(geometry, payload));
+
+    decisions[static_cast<std::size_t>(geometry.block_index(0, 0))] = Block_decision::unknown;
+    decisions[static_cast<std::size_t>(geometry.block_index(1, 0))] = Block_decision::unknown;
+
+    const auto soft = decode_gob_parity(geometry, decisions, 0, true);
+    EXPECT_EQ(soft.recovered_gobs, 0u);
+    EXPECT_FALSE(soft.gobs.front().available)
+        << "one parity equation cannot fill two erasures";
+    // The other three GOBs are untouched and still decode.
+    EXPECT_NEAR(soft.available_ratio, 3.0 / 4.0, 1e-12);
+}
+
+TEST(ParityErasureFill, ErasureFillCatchesWhatHardDecisionMisreads)
+{
+    // The motivating scenario: an occluded block read as a *confident
+    // wrong* bit defeats parity (detected, GOB lost); the same block
+    // flagged as an erasure is reconstructed. Property over random
+    // payloads and positions.
+    const auto geometry = small_geometry();
+    util::Prng prng(0x9999u);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto payload =
+            prng.next_bits(static_cast<std::size_t>(geometry.payload_bits_per_frame()));
+        const auto block_bits = encode_gob_parity(geometry, payload);
+
+        const auto victim =
+            static_cast<std::size_t>(prng.next_below(block_bits.size()));
+
+        auto wrong = to_decisions(block_bits);
+        wrong[victim] = block_bits[victim] ? Block_decision::zero : Block_decision::one;
+        const auto hard = decode_gob_parity(geometry, wrong, 0, true);
+        EXPECT_EQ(hard.good_payload_bits,
+                  static_cast<std::size_t>(3 * geometry.payload_bits_per_gob()))
+            << "flipped block must fail its GOB's parity check";
+
+        auto erased = to_decisions(block_bits);
+        erased[victim] = Block_decision::unknown;
+        const auto soft = decode_gob_parity(geometry, erased, 0, true);
+        EXPECT_EQ(soft.payload_bits, payload) << "trial " << trial;
+        EXPECT_EQ(soft.recovered_gobs, 1u);
+    }
+}
+
+} // namespace

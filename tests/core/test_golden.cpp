@@ -1,0 +1,109 @@
+// Golden regression vectors: CRC32 fingerprints of the encoder's display
+// frames and of the decoded payload for two frozen reference configs.
+//
+// These pin the *exact* bit-level behaviour of the whole encode path
+// (chessboard embed, complementary pair, GOB parity) and of the clean
+// channel decode. Any intentional change to the modulation or coding
+// layers will trip them; when that happens, verify the change is wanted,
+// then refresh the constants from the values the failing test prints
+// (run: test_core --gtest_filter='Golden*').
+
+#include "coding/parity.hpp"
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "core/session.hpp"
+#include "util/crc32.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace inframe::core;
+using inframe::img::Imagef;
+using inframe::util::Prng;
+
+struct Golden_case {
+    const char* name;
+    int pixel_size;
+    int tau;
+    float delta;
+    float video_level;
+    std::uint64_t payload_seed;
+    std::uint32_t display_crc; // CRC32 over all tau quantized display frames
+    std::uint32_t payload_crc; // CRC32 over the decoded payload bits
+};
+
+// Frozen reference fingerprints. Regenerate only for an intentional
+// modulation/coding change (see header comment).
+constexpr Golden_case golden_cases[] = {
+    {"p2_tau12", 2, 12, 20.0f, 127.0f, 0x00d5'eed5'eed5'eed5ULL, 0xa88f30d9u, 0xfc0d280au},
+    {"p1_tau8", 1, 8, 40.0f, 180.0f, 0x1bad'b002'0000'0001ULL, 0x19d91409u, 0x80ea58ccu},
+};
+
+class Golden : public ::testing::TestWithParam<Golden_case> {};
+
+TEST_P(Golden, DisplayFramesAndDecodedPayloadMatchFrozenCrcs)
+{
+    const auto& g = GetParam();
+    auto config = paper_config(480, 270);
+    config.geometry = inframe::coding::fitted_geometry(480, 270, g.pixel_size);
+    config.tau = g.tau;
+    config.delta = g.delta;
+
+    Inframe_encoder encoder(config);
+    Prng prng(g.payload_seed);
+    const auto payload =
+        prng.next_bits(static_cast<std::size_t>(config.geometry.payload_bits_per_frame()));
+    encoder.queue_payload(payload);
+    encoder.queue_payload(
+        prng.next_bits(static_cast<std::size_t>(config.geometry.payload_bits_per_frame())));
+    const auto truth = inframe::coding::encode_gob_parity(config.geometry, payload);
+
+    Inframe_decoder decoder(make_decoder_params(config, 480, 270));
+    const Imagef video(480, 270, 1, g.video_level);
+
+    std::vector<std::uint8_t> display_bytes;
+    std::vector<Data_frame_result> results;
+    for (int j = 0; j < 2 * g.tau; ++j) {
+        const Imagef frame = encoder.next_display_frame(video);
+        if (j < g.tau) {
+            // Fingerprint what the panel would show: the quantized frame.
+            const auto u8 = inframe::img::to_u8(frame);
+            display_bytes.insert(display_bytes.end(), u8.values().begin(), u8.values().end());
+        }
+        if (j % 2 == 0) {
+            for (auto& r : decoder.push_capture(frame, j / 120.0)) {
+                results.push_back(std::move(r));
+            }
+        }
+    }
+    if (auto last = decoder.flush()) results.push_back(std::move(*last));
+
+    ASSERT_FALSE(results.empty());
+    const auto& r0 = results.front();
+    ASSERT_DOUBLE_EQ(r0.gob.available_ratio, 1.0)
+        << g.name << ": golden configs decode cleanly by construction";
+    const std::uint32_t display_crc = inframe::util::crc32(display_bytes);
+    const std::uint32_t payload_crc = inframe::util::crc32(r0.gob.payload_bits);
+
+    EXPECT_EQ(display_crc, g.display_crc)
+        << g.name << ": display frame stream changed; new CRC 0x" << std::hex << display_crc;
+    EXPECT_EQ(payload_crc, g.payload_crc)
+        << g.name << ": decoded payload changed; new CRC 0x" << std::hex << payload_crc;
+
+    // The frozen payload CRC must agree with the transmitted payload —
+    // golden vectors pin behaviour, not bugs.
+    std::size_t mismatches = 0;
+    for (std::size_t b = 0; b < payload.size(); ++b) {
+        mismatches += r0.gob.payload_bits[b] != payload[b];
+    }
+    EXPECT_EQ(mismatches, 0u) << g.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(ReferenceConfigs, Golden, ::testing::ValuesIn(golden_cases),
+                         [](const auto& info) { return info.param.name; });
+
+} // namespace

@@ -6,6 +6,7 @@
 // parameter combination, complementary pairs must always cancel, and the
 // accounting identities of the GOB layer must hold for arbitrary inputs.
 
+#include "coding/interleaver.hpp"
 #include "coding/parity.hpp"
 #include "core/decoder.hpp"
 #include "core/encoder.hpp"
@@ -223,5 +224,114 @@ TEST_P(ErasureRecovery, GarbageInUntrustedBitsIsCorrected)
 
 INSTANTIATE_TEST_SUITE_P(LostGobCounts, ErasureRecovery,
                          ::testing::Values(0, 1, 5, 20, 60));
+
+// ---------------------------------------------------------------------
+// Invariant 6: randomized round trips over 500 seeded configurations.
+// interleave -> GOB parity encode -> decode -> deinterleave is the
+// identity on clean channels, and stays the identity under one erased
+// block per GOB (the parity layer's exact correction bound).
+// ---------------------------------------------------------------------
+
+TEST(RandomizedRoundtrip, InterleaverParityIdentityOverFiveHundredSeeds)
+{
+    for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+        Prng prng(seed * 0x9e37'79b9'7f4a'7c15ULL);
+
+        // Random small geometry: GOB side 2 or 3, 2..5 GOBs per axis.
+        inframe::coding::Code_geometry geometry;
+        geometry.gob_size = prng.next_below(2) == 0 ? 2 : 3;
+        geometry.blocks_x =
+            geometry.gob_size * (2 + static_cast<int>(prng.next_below(4)));
+        geometry.blocks_y =
+            geometry.gob_size * (2 + static_cast<int>(prng.next_below(4)));
+        geometry.pixel_size = 1;
+        geometry.block_pixels = 4;
+        geometry.screen_width = geometry.blocks_x * 4;
+        geometry.screen_height = geometry.blocks_y * 4;
+        ASSERT_NO_THROW(geometry.validate()) << "seed " << seed;
+
+        const auto payload = prng.next_bits(
+            static_cast<std::size_t>(geometry.payload_bits_per_frame()));
+        const inframe::coding::Interleaver interleaver(geometry.payload_bits_per_gob(),
+                                                       geometry.gob_count());
+        const auto interleaved = interleaver.interleave(payload);
+        const auto block_bits =
+            inframe::coding::encode_gob_parity(geometry, interleaved);
+
+        std::vector<Block_decision> decisions(block_bits.size());
+        for (std::size_t b = 0; b < block_bits.size(); ++b) {
+            decisions[b] = block_bits[b] ? Block_decision::one : Block_decision::zero;
+        }
+
+        // Clean channel: both modes are the identity.
+        for (const bool erasure_fill : {false, true}) {
+            const auto decoded = inframe::coding::decode_gob_parity(geometry, decisions, 0,
+                                                                    erasure_fill);
+            ASSERT_DOUBLE_EQ(decoded.available_ratio, 1.0) << "seed " << seed;
+            ASSERT_EQ(interleaver.deinterleave(decoded.payload_bits), payload)
+                << "seed " << seed << " erasure_fill " << erasure_fill;
+        }
+
+        // Erasure channel at the exact correction bound: one erased block
+        // in a random slot of each of a random subset of GOBs.
+        auto erased = decisions;
+        const int m = geometry.gob_size;
+        for (int gy = 0; gy < geometry.gobs_y(); ++gy) {
+            for (int gx = 0; gx < geometry.gobs_x(); ++gx) {
+                if (prng.next_double() < 0.5) continue;
+                const auto slot = static_cast<int>(
+                    prng.next_below(static_cast<std::uint64_t>(m * m)));
+                erased[static_cast<std::size_t>(geometry.block_index(
+                    gx * m + slot % m, gy * m + slot / m))] = Block_decision::unknown;
+            }
+        }
+        const auto recovered =
+            inframe::coding::decode_gob_parity(geometry, erased, 0, true);
+        ASSERT_DOUBLE_EQ(recovered.available_ratio, 1.0) << "seed " << seed;
+        ASSERT_EQ(interleaver.deinterleave(recovered.payload_bits), payload)
+            << "seed " << seed;
+    }
+}
+
+TEST(RandomizedRoundtrip, RsFramingSurvivesBoundedErrorsAndErasures)
+{
+    // Frame_codec in RS mode (capacity 1125 bits -> RS(140, 63), error
+    // budget n - k = 77 symbols). Each flipped bit corrupts at most one
+    // symbol and each 24-bit untrusted run at most 4, so the injected
+    // pattern below stays well inside 2e + s <= n - k for every draw.
+    Session_options options;
+    options.use_rs = true;
+    const Frame_codec codec(1125, options);
+    for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+        Prng prng(seed * 0xd1b5'4a32'd192'ed03ULL);
+        std::vector<std::uint8_t> payload(prng.next_below(
+            static_cast<std::uint64_t>(codec.max_payload_bytes()) + 1));
+        prng.fill_bytes(payload);
+        auto bits = codec.build(static_cast<std::uint32_t>(seed), payload);
+        std::vector<std::uint8_t> trusted(bits.size(), 1);
+
+        // Up to 10 isolated bit flips (undeclared errors)...
+        const auto flips = prng.next_below(11);
+        for (std::uint64_t f = 0; f < flips; ++f) {
+            bits[static_cast<std::size_t>(prng.next_below(bits.size()))] ^= 1;
+        }
+        // ...plus up to 3 untrusted 24-bit bursts of garbage (erasures).
+        const auto bursts = prng.next_below(4);
+        for (std::uint64_t r = 0; r < bursts; ++r) {
+            const auto start =
+                static_cast<std::size_t>(prng.next_below(bits.size() - 24));
+            for (std::size_t b = start; b < start + 24; ++b) {
+                bits[b] = static_cast<std::uint8_t>(prng.next_below(2));
+                trusted[b] = 0;
+            }
+        }
+
+        const auto parsed = codec.parse(bits, trusted);
+        ASSERT_TRUE(parsed.has_value()) << "seed " << seed << ": " << flips
+                                        << " flips, " << bursts << " bursts";
+        EXPECT_EQ(parsed->sequence, static_cast<std::uint32_t>(seed));
+        EXPECT_EQ(parsed->payload, payload) << "seed " << seed;
+    }
+}
 
 } // namespace
