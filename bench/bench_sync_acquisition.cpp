@@ -3,14 +3,17 @@
 // The paper assumes the receiver knows where data frames start; the
 // Phase_estimator recovers that alignment from captures alone. This bench
 // measures time-to-lock and post-lock decode quality across start offsets
-// and capture conditions.
+// and capture conditions. The broadcast side is the standard stage graph;
+// the unsynchronized receiver is a sink stage around Synced_decoder. The
+// transmitter pre-rolls `offset` display frames through the encode stage
+// before the link exists — exactly the situation a late-joining receiver
+// faces.
 
 #include "bench_common.hpp"
-#include "channel/link.hpp"
+#include "core/pipeline.hpp"
+#include "core/stages.hpp"
 #include "core/sync.hpp"
-#include "core/encoder.hpp"
-#include "core/session.hpp"
-#include "util/prng.hpp"
+#include "imgproc/pool.hpp"
 #include "video/playback.hpp"
 
 #include <cstdio>
@@ -37,78 +40,89 @@ Lock_result run_acquisition(int offset_display_frames, double shot_noise, double
     config.geometry = coding::fitted_geometry(width, height, 2);
     config.tau = 12;
 
-    Inframe_encoder encoder(config);
-    util::Prng prng(41 + static_cast<std::uint64_t>(offset_display_frames));
-    const auto frames_needed = static_cast<int>(duration_s * 120.0) / config.tau + 4;
-    for (int i = 0; i < frames_needed; ++i) {
-        encoder.queue_payload(prng.next_bits(
-            static_cast<std::size_t>(config.geometry.payload_bits_per_frame())));
-    }
-
     channel::Display_params display;
     channel::Camera_params camera;
     camera.sensor_width = width;
     camera.sensor_height = height;
     camera.shot_noise_scale = shot_noise;
-    channel::Screen_camera_link link(display, camera, width, height);
 
     auto decoder_params = make_decoder_params(config, width, height);
     decoder_params.detector = Detector::matched;
     Synced_decoder decoder(decoder_params);
 
-    const img::Imagef video(width, height, 1, 140.0f);
-    // Transmitter ran for `offset` display frames before the receiver's
-    // clock started.
-    for (int j = 0; j < offset_display_frames; ++j) encoder.next_display_frame(video);
+    Encode_stage::Options encode_options;
+    encode_options.payloads = make_random_payload_source(
+        41 + static_cast<std::uint64_t>(offset_display_frames),
+        config.geometry.payload_bits_per_frame());
+
+    Pipeline pipeline;
+    pipeline.emplace_stage<Video_stage>(
+        std::make_shared<video::Solid_video>(width, height, 140.0f),
+        video::Playback_schedule{});
+    auto& encode = pipeline.emplace_stage<Encode_stage>(config, std::move(encode_options));
+    pipeline.emplace_stage<Link_stage>(display, camera, width, height);
 
     Lock_result result;
-    const auto total = static_cast<int>(duration_s * 120.0);
     const double offset_s = offset_display_frames / 120.0;
-    for (int j = 0; j < total; ++j) {
-        const auto shown = encoder.next_display_frame(video);
-        for (const auto& capture : link.push_display_frame(shown)) {
-            const bool was_locked = decoder.locked();
-            const auto decoded = decoder.push_capture(capture.image, capture.start_time);
-            if (!was_locked && decoder.locked()) {
-                result.locked = true;
-                result.lock_time_s = capture.start_time;
+    const Inframe_encoder& encoder = encode.encoder();
+    pipeline.emplace_stage<Function_stage>("sync", [&](Frame_token token) {
+        const bool was_locked = decoder.locked();
+        const auto decoded = decoder.push_capture(token.image, token.time_s);
+        if (!was_locked && decoder.locked()) {
+            result.locked = true;
+            result.lock_time_s = token.time_s;
+        }
+        for (const auto& frame : decoded) {
+            if (frame.captures_used == 0) continue;
+            ++result.frames_decoded;
+            // The estimator's offset is exact only up to the capture
+            // assignment equivalence class; compare against the
+            // best-matching transmitted frame near the nominal index.
+            const double tx_time =
+                frame.data_frame_index * (config.tau / 120.0) + *decoder.offset() + offset_s;
+            const auto nominal =
+                static_cast<std::int64_t>(std::lround(tx_time * 120.0)) / config.tau;
+            int best_wrong = -1;
+            int best_confident = 0;
+            for (std::int64_t tx = nominal - 1; tx <= nominal + 1; ++tx) {
+                const auto* truth = encoder.transmitted_block_bits(tx);
+                if (truth == nullptr) continue;
+                int wrong = 0;
+                int confident = 0;
+                for (std::size_t b = 0; b < frame.decisions.size(); ++b) {
+                    if (frame.decisions[b] == coding::Block_decision::unknown) continue;
+                    ++confident;
+                    const std::uint8_t bit =
+                        frame.decisions[b] == coding::Block_decision::one ? 1 : 0;
+                    wrong += bit != (*truth)[b];
+                }
+                if (best_wrong < 0 || wrong < best_wrong) {
+                    best_wrong = wrong;
+                    best_confident = confident;
+                }
             }
-            for (const auto& frame : decoded) {
-                if (frame.captures_used == 0) continue;
-                ++result.frames_decoded;
-                // The estimator's offset is exact only up to the capture
-                // assignment equivalence class; compare against the
-                // best-matching transmitted frame near the nominal index.
-                const double tx_time = frame.data_frame_index * (config.tau / 120.0)
-                                       + *decoder.offset() + offset_s;
-                const auto nominal =
-                    static_cast<std::int64_t>(std::lround(tx_time * 120.0)) / config.tau;
-                int best_wrong = -1;
-                int best_confident = 0;
-                for (std::int64_t tx = nominal - 1; tx <= nominal + 1; ++tx) {
-                    const auto* truth = encoder.transmitted_block_bits(tx);
-                    if (truth == nullptr) continue;
-                    int wrong = 0;
-                    int confident = 0;
-                    for (std::size_t b = 0; b < frame.decisions.size(); ++b) {
-                        if (frame.decisions[b] == coding::Block_decision::unknown) continue;
-                        ++confident;
-                        const std::uint8_t bit =
-                            frame.decisions[b] == coding::Block_decision::one ? 1 : 0;
-                        wrong += bit != (*truth)[b];
-                    }
-                    if (best_wrong < 0 || wrong < best_wrong) {
-                        best_wrong = wrong;
-                        best_confident = confident;
-                    }
-                }
-                if (best_wrong >= 0) {
-                    result.confident_blocks += best_confident;
-                    result.wrong_blocks += best_wrong;
-                }
+            if (best_wrong >= 0) {
+                result.confident_blocks += best_confident;
+                result.wrong_blocks += best_wrong;
             }
         }
+        std::vector<Frame_token> out;
+        out.push_back(std::move(token)); // runtime recycles sink frames
+        return out;
+    });
+
+    // Transmitter ran for `offset` display frames before the receiver's
+    // clock started: pre-roll the encode stage directly and discard the
+    // emitted frames.
+    const img::Imagef video(width, height, 1, 140.0f);
+    for (int j = 0; j < offset_display_frames; ++j) {
+        img::Frame_pool::instance().recycle(encode.encode(video));
     }
+
+    // The sync sink reads encoder truth while the encode stage runs, so
+    // this graph must stay serial (frames_in_flight = 1, the default).
+    const auto total = static_cast<std::int64_t>(duration_s * 120.0);
+    pipeline.run(total);
     return result;
 }
 

@@ -4,10 +4,13 @@
 //
 // This example stresses the carousel property: a receiver that joins
 // mid-broadcast and suffers capture dropouts still assembles the message
-// from later carousel passes.
+// from later carousel passes. The phone's imperfections live in their own
+// pipeline stage between the link and the receiver: captures before the
+// join time or during hand-shake bursts never reach the decoder.
 
-#include "channel/link.hpp"
-#include "core/session.hpp"
+#include "core/pipeline.hpp"
+#include "core/stages.hpp"
+#include "imgproc/pool.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
 #include "video/playback.hpp"
@@ -33,51 +36,56 @@ int main()
     const std::string coupon =
         "COUPON:SUNRISE-COFFEE-20-OFF|https://example.com/r/8f31|valid-until:2014-10-28|"
         "terms:one-per-customer,participating-stores-only|signature:6dc1a39b";
-    core::Inframe_sender sender(config, {coupon.begin(), coupon.end()});
-
-    const auto video = video::make_sunrise_video(width, height);
-    const video::Playback_schedule schedule;
 
     channel::Display_params display;
     channel::Camera_params camera;
     camera.sensor_width = width;
     camera.sensor_height = height;
-    channel::Screen_camera_link link(display, camera, width, height);
 
     auto decoder_params = core::make_decoder_params(config, width, height);
     decoder_params.detector = core::Detector::matched; // texture-robust detector
-    core::Inframe_receiver receiver(decoder_params, sender.total_chunks());
-
-    std::printf("Ad running; coupon payload is %zu bytes over %zu data frames per pass.\n",
-                coupon.size(), sender.total_chunks());
 
     // The viewer's phone joins 1.5 seconds into the ad and loses captures
     // whenever the hand shakes (a dropout burst every ~0.8 s).
     const double join_time = 1.5;
-    util::Prng shake(99);
-    std::int64_t display_frame = 0;
-    double complete_at = -1.0;
-    while (complete_at < 0.0 && display_frame < 120 * 30) {
-        const auto video_frame = video->frame(schedule.video_frame_for_display(display_frame));
-        const auto multiplexed = sender.next_display_frame(video_frame);
-        for (const auto& capture : link.push_display_frame(multiplexed)) {
-            if (capture.start_time < join_time) continue; // not watching yet
-            const bool shaking = shake.next_bernoulli(0.15);
-            if (shaking) continue; // blurred capture discarded
-            receiver.push_capture(capture.image, capture.start_time);
-            if (receiver.message_complete()) complete_at = capture.start_time;
-        }
-        ++display_frame;
-    }
-    receiver.finish();
 
+    core::Pipeline pipeline;
+    pipeline.emplace_stage<core::Video_stage>(video::make_sunrise_video(width, height),
+                                              video::Playback_schedule{});
+    auto& send = pipeline.emplace_stage<core::Send_stage>(
+        config, std::vector<std::uint8_t>{coupon.begin(), coupon.end()});
+    pipeline.emplace_stage<core::Link_stage>(display, camera, width, height);
+    pipeline.emplace_stage<core::Function_stage>(
+        "phone", [shake = util::Prng(99), join_time](core::Frame_token token) mutable {
+            std::vector<core::Frame_token> out;
+            const bool watching = token.time_s >= join_time;
+            if (watching && !shake.next_bernoulli(0.15)) {
+                out.push_back(std::move(token));
+            } else {
+                // Not watching yet, or blurred capture discarded.
+                img::Frame_pool::instance().recycle(std::move(token.image));
+            }
+            return out;
+        });
+    auto& receive =
+        pipeline.emplace_stage<core::Receive_stage>(decoder_params, send.sender().total_chunks());
+
+    std::printf("Ad running; coupon payload is %zu bytes over %zu data frames per pass.\n",
+                coupon.size(), send.sender().total_chunks());
+
+    core::Pipeline_options options;
+    options.frames_in_flight = 4;
+    options.stop_when = [&receive] { return receive.receiver().message_complete(); };
+    pipeline.run(120 * 30, options);
+
+    const auto& receiver = receive.receiver();
     if (!receiver.message_complete()) {
         std::printf("coupon not assembled within the ad. :(\n");
         return 1;
     }
     const auto bytes = receiver.message();
     std::printf("joined at %.1f s, coupon complete at %.2f s (%.2f s of viewing)\n", join_time,
-                complete_at, complete_at - join_time);
+                receive.completed_at(), receive.completed_at() - join_time);
     std::printf("decoded %zu data frames (%zu rejected during dropouts)\n",
                 receiver.frames_decoded(), receiver.frames_rejected());
     std::printf("coupon: %s\n", std::string(bytes.begin(), bytes.end()).c_str());

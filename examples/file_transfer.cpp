@@ -5,7 +5,9 @@
 // the result byte-for-byte with a CRC — the "device-favorable content
 // without sacrificing the screen" scenario end to end, including the
 // phase-synchronized receiver that does not know when the broadcast
-// started.
+// started. The transfer is a core::Pipeline stage graph with overlapped
+// stages; progress is reported from the early-stop probe, which runs on
+// the receiving end of the graph.
 
 #include "inframe.hpp"
 
@@ -36,48 +38,54 @@ int main()
     file_prng.fill_bytes(file);
     const std::uint32_t checksum = util::crc32(file);
 
-    core::Inframe_sender sender(config, file, /*loop=*/true, protection);
-    std::printf("broadcasting %zu bytes (crc32 %08x) in %zu chunks at %.2f kbps raw\n",
-                file.size(), checksum, sender.total_chunks(),
-                config.raw_payload_rate() / 1000.0);
-
     // A warm-tinted colour video carries the broadcast.
     const auto video = std::make_shared<video::Tinted_video>(
         video::make_sunrise_video(width, height),
         video::Tinted_video::Tint{8.0f, 4.0f, 24.0f},
         video::Tinted_video::Tint{255.0f, 225.0f, 185.0f});
-    const video::Playback_schedule schedule;
 
     channel::Display_params display;
     channel::Camera_params camera;
     camera.sensor_width = width;
     camera.sensor_height = height;
-    channel::Screen_camera_link link(display, camera, width, height);
 
     auto decoder_params = core::make_decoder_params(config, width, height);
     decoder_params.detector = core::Detector::matched;
-    core::Inframe_receiver receiver(decoder_params, sender.total_chunks(), protection);
 
-    std::int64_t display_frame = 0;
+    core::Pipeline pipeline;
+    pipeline.emplace_stage<core::Video_stage>(video, video::Playback_schedule{});
+    auto& send =
+        pipeline.emplace_stage<core::Send_stage>(config, file, /*loop=*/true, protection);
+    pipeline.emplace_stage<core::Link_stage>(display, camera, width, height);
+    auto& receive = pipeline.emplace_stage<core::Receive_stage>(
+        decoder_params, send.sender().total_chunks(), protection);
+
+    std::printf("broadcasting %zu bytes (crc32 %08x) in %zu chunks at %.2f kbps raw\n",
+                file.size(), checksum, send.sender().total_chunks(),
+                config.raw_payload_rate() / 1000.0);
+
+    // Drive until the receiver has every chunk (2 min budget). The stop
+    // probe runs after each capture lands, so it doubles as the progress
+    // reporter.
+    core::Pipeline_options options;
+    options.frames_in_flight = 4;
     std::size_t last_report = 0;
-    while (!receiver.message_complete() && display_frame < 120 * 120) {
-        const auto video_frame = video->frame(schedule.video_frame_for_display(display_frame));
-        const auto shown = sender.next_display_frame(video_frame);
-        for (const auto& capture : link.push_display_frame(shown)) {
-            receiver.push_capture(capture.image, capture.start_time);
-        }
+    options.stop_when = [&] {
+        const auto& receiver = receive.receiver();
         if (receiver.chunks_received() >= last_report + 20) {
             last_report = receiver.chunks_received();
-            std::printf("  %5.1f s: %zu/%zu chunks\n",
-                        static_cast<double>(display_frame) / 120.0,
-                        receiver.chunks_received(), sender.total_chunks());
+            std::printf("  %5zu/%zu chunks\n", receiver.chunks_received(),
+                        send.sender().total_chunks());
         }
-        ++display_frame;
-    }
-    receiver.finish();
+        return receiver.message_complete();
+    };
+    const core::Pipeline_metrics metrics = pipeline.run(120 * 120, options);
 
+    const auto& receiver = receive.receiver();
     const auto received = receiver.message();
-    const double seconds = static_cast<double>(display_frame) / 120.0;
+    const double seconds = receive.completed_at() >= 0.0
+                               ? receive.completed_at()
+                               : static_cast<double>(metrics.head_tokens) / 120.0;
     std::printf("\nreceived %zu bytes in %.1f s of video (%.2f kbps effective)\n",
                 received.size(), seconds,
                 received.size() * 8.0 / seconds / 1000.0);
@@ -86,6 +94,6 @@ int main()
         return 0;
     }
     std::printf("TRANSFER FAILED (got %zu/%zu chunks)\n", receiver.chunks_received(),
-                sender.total_chunks());
+                send.sender().total_chunks());
     return 1;
 }

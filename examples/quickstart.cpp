@@ -2,11 +2,14 @@
 //
 // A video plays on the (simulated) display; a short message rides on top
 // of it, invisible to the viewer; the (simulated) camera demodulates it.
-// Everything runs at a reduced resolution so this finishes in seconds —
-// bench/bench_fig7_throughput runs the paper's full-scale rig.
+// The whole dataflow is one core::Pipeline stage graph — video, sender,
+// screen-camera link, receiver — driven with a few display frames in
+// flight so the stages overlap. Everything runs at a reduced resolution
+// so this finishes in seconds — bench/bench_fig7_throughput runs the
+// paper's full-scale rig.
 
-#include "channel/link.hpp"
-#include "core/session.hpp"
+#include "core/pipeline.hpp"
+#include "core/stages.hpp"
 #include "util/thread_pool.hpp"
 #include "video/playback.hpp"
 
@@ -40,45 +43,65 @@ int main()
     const std::string text =
         "Hello from InFrame! This message is riding on ordinary video, "
         "invisible to anyone watching the screen.";
-    core::Inframe_sender sender(config, {text.begin(), text.end()});
-    std::printf("sending %zu bytes in %zu data-frame chunks\n\n", text.size(),
-                sender.total_chunks());
 
-    // 3. The video the human watches.
-    const auto video = video::make_sunrise_video(width, height);
-    const video::Playback_schedule schedule;
-
-    // 4. The device watching the screen: display + camera simulation.
+    // 3. Assemble the stage graph: video -> sender -> display/camera link
+    //    -> receiver. The camera captures close up, so its sensor resolves
+    //    the screen 1:1.
     channel::Display_params display;
     channel::Camera_params camera;
-    camera.sensor_width = width; // close-up capture: sensor resolves the screen
+    camera.sensor_width = width;
     camera.sensor_height = height;
-    channel::Screen_camera_link link(display, camera, width, height);
 
     auto decoder_params = core::make_decoder_params(config, width, height);
     decoder_params.detector = core::Detector::matched; // texture-robust detector
-    core::Inframe_receiver receiver(decoder_params, sender.total_chunks());
 
-    // 5. Run the link until the whole message has been reassembled.
-    std::int64_t display_frame = 0;
-    while (!receiver.message_complete() && display_frame < 120 * 20) {
-        const auto video_frame = video->frame(schedule.video_frame_for_display(display_frame));
-        const auto multiplexed = sender.next_display_frame(video_frame);
-        for (const auto& capture : link.push_display_frame(multiplexed)) {
-            receiver.push_capture(capture.image, capture.start_time);
-        }
-        ++display_frame;
-    }
-    receiver.finish();
+    core::Pipeline pipeline;
+    pipeline.emplace_stage<core::Video_stage>(video::make_sunrise_video(width, height),
+                                              video::Playback_schedule{});
+    auto& send = pipeline.emplace_stage<core::Send_stage>(
+        config, std::vector<std::uint8_t>{text.begin(), text.end()});
+    pipeline.emplace_stage<core::Link_stage>(display, camera, width, height);
+    auto& receive =
+        pipeline.emplace_stage<core::Receive_stage>(decoder_params, send.sender().total_chunks());
 
+    std::printf("sending %zu bytes in %zu data-frame chunks\n\n", text.size(),
+                send.sender().total_chunks());
+
+    // 4. Run the link until the whole message has been reassembled (or a
+    //    20 s budget runs out). frames_in_flight > 1 runs each stage on
+    //    its own thread with a bounded queue between neighbours.
+    core::Pipeline_options options;
+    options.frames_in_flight = 4;
+    options.stop_when = [&receive] { return receive.receiver().message_complete(); };
+    const core::Pipeline_metrics metrics = pipeline.run(120 * 20, options);
+
+    const auto& receiver = receive.receiver();
     const auto received = receiver.message();
-    std::printf("after %.2f s of video:\n", static_cast<double>(display_frame) / 120.0);
-    std::printf("  chunks      : %zu/%zu\n", receiver.chunks_received(), sender.total_chunks());
+    std::printf("after %.2f s of video:\n",
+                static_cast<double>(metrics.head_tokens) / config.display_fps);
+    std::printf("  chunks      : %zu/%zu\n", receiver.chunks_received(),
+                send.sender().total_chunks());
     std::printf("  frames used : %zu decoded, %zu rejected\n", receiver.frames_decoded(),
                 receiver.frames_rejected());
+    if (receive.completed_at() >= 0.0) {
+        std::printf("  complete at : %.2f s\n", receive.completed_at());
+    }
     std::printf("  message     : \"%s\"\n",
                 std::string(received.begin(), received.end()).c_str());
-    std::printf("  status      : %s\n",
-                receiver.message_complete() ? "complete" : "INCOMPLETE");
+    std::printf("  status      : %s\n", receiver.message_complete() ? "complete" : "INCOMPLETE");
+
+    // 5. The pipeline's observability taps: where the time went.
+    std::printf("\npipeline (%d frames in flight, %.2f s wall):\n", metrics.frames_in_flight,
+                metrics.wall_s);
+    for (const auto& stage : metrics.stages) {
+        std::printf("  %-8s %6.2f s busy  %6lld in %6lld out  waits in/out %lld/%lld\n",
+                    stage.name.c_str(), stage.wall_s, static_cast<long long>(stage.tokens_in),
+                    static_cast<long long>(stage.tokens_out),
+                    static_cast<long long>(stage.input_waits),
+                    static_cast<long long>(stage.output_waits));
+    }
+    std::printf("  frame pool: %lld hits / %lld misses\n",
+                static_cast<long long>(metrics.pool_hits),
+                static_cast<long long>(metrics.pool_misses));
     return receiver.message_complete() ? 0 : 1;
 }

@@ -1,13 +1,14 @@
 #include "core/link_runner.hpp"
 
 #include "core/session.hpp"
+#include "core/stages.hpp"
 #include "imgproc/image_ops.hpp"
-#include "imgproc/pool.hpp"
 #include "util/contract.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 #include <cmath>
+#include <utility>
 
 namespace inframe::core {
 
@@ -25,8 +26,6 @@ Link_experiment_result run_link_experiment(const Link_experiment_config& config)
     const util::Parallel_scope parallel_scope(
         config.threads >= 0 ? config.threads : config.inframe.threads);
 
-    Inframe_encoder encoder(config.inframe);
-
     Decoder_params decoder_params = make_decoder_params(
         config.inframe, config.camera.sensor_width, config.camera.sensor_height);
     decoder_params.detector = config.detector;
@@ -36,48 +35,43 @@ Link_experiment_result run_link_experiment(const Link_experiment_config& config)
     decoder_params.hysteresis = config.hysteresis;
     decoder_params.capture_to_screen = config.decoder_capture_to_screen;
     decoder_params.erasure_aware = config.erasure_aware;
-    Inframe_decoder decoder(decoder_params);
 
     channel::Camera_params camera = config.camera;
     if (config.auto_exposure) {
         camera = channel::auto_expose(camera, img::mean(config.video->frame(0)));
     }
-    channel::Screen_camera_link link(config.display, camera,
-                                     config.inframe.geometry.screen_width,
-                                     config.inframe.geometry.screen_height,
-                                     config.impairments);
 
-    // The paper drives the channel from "a pseudo-random data generator
-    // with a pre-set seed"; queue enough random data frames up front.
-    util::Prng data_prng(config.data_seed);
     const auto total_display_frames =
         static_cast<std::int64_t>(std::llround(config.duration_s * config.inframe.display_fps));
-    const auto total_data_frames = total_display_frames / config.inframe.tau + 2;
-    for (std::int64_t i = 0; i < total_data_frames; ++i) {
-        encoder.queue_payload(data_prng.next_bits(
-            static_cast<std::size_t>(config.inframe.geometry.payload_bits_per_frame())));
-    }
 
-    const video::Playback_schedule schedule{config.inframe.display_fps,
-                                            config.inframe.video_fps};
+    // Assemble the paper's dataflow as a stage graph. Payload bits come
+    // from the config's lazy source (default: the paper's "pseudo-random
+    // data generator with a pre-set seed"), pulled as frames go on air.
+    Pipeline pipeline;
+    pipeline.emplace_stage<Video_stage>(
+        config.video,
+        video::Playback_schedule{config.inframe.display_fps, config.inframe.video_fps});
+    Encode_stage::Options encode_options;
+    encode_options.payloads =
+        config.payloads ? config.payloads
+                        : make_random_payload_source(
+                              config.data_seed, config.inframe.geometry.payload_bits_per_frame());
+    Encode_stage& encode =
+        pipeline.emplace_stage<Encode_stage>(config.inframe, std::move(encode_options));
+    Link_stage& link = pipeline.emplace_stage<Link_stage>(
+        config.display, camera, config.inframe.geometry.screen_width,
+        config.inframe.geometry.screen_height, config.impairments);
+    Decode_stage& decode = pipeline.emplace_stage<Decode_stage>(decoder_params);
 
-    std::vector<Data_frame_result> results;
-    for (std::int64_t j = 0; j < total_display_frames; ++j) {
-        auto video_frame = config.video->frame(schedule.video_frame_for_display(j));
-        auto display_frame = encoder.next_display_frame(video_frame);
-        for (auto& capture : link.push_display_frame(display_frame)) {
-            for (auto& result : decoder.push_capture(capture.image, capture.start_time)) {
-                results.push_back(std::move(result));
-            }
-            // The capture has been fully demodulated; recycle its frame.
-            img::Frame_pool::instance().recycle(std::move(capture.image));
-        }
-        img::Frame_pool::instance().recycle(std::move(display_frame));
-        img::Frame_pool::instance().recycle(std::move(video_frame));
-    }
-    if (auto last = decoder.flush()) results.push_back(std::move(*last));
+    Pipeline_options pipeline_options;
+    pipeline_options.frames_in_flight = config.frames_in_flight;
+    Pipeline_metrics pipeline_metrics = pipeline.run(total_display_frames, pipeline_options);
+
+    const Inframe_encoder& encoder = encode.encoder();
+    const std::vector<Data_frame_result>& results = decode.results();
 
     Link_experiment_result out;
+    out.pipeline = std::move(pipeline_metrics);
     out.duration_s = config.duration_s;
     out.raw_rate_kbps = config.inframe.raw_payload_rate() / 1000.0;
 
@@ -212,14 +206,8 @@ hvs::Panel_result run_flicker_experiment(const Flicker_experiment_config& config
     const util::Parallel_scope parallel_scope(
         config.threads >= 0 ? config.threads : config.inframe.threads);
 
-    Inframe_encoder encoder(config.inframe);
-    util::Prng data_prng(config.data_seed);
     const auto total_display_frames =
         static_cast<std::int64_t>(std::llround(config.duration_s * config.inframe.display_fps));
-    for (std::int64_t i = 0; i <= total_display_frames / config.inframe.tau + 1; ++i) {
-        encoder.queue_payload(data_prng.next_bits(
-            static_cast<std::size_t>(config.inframe.geometry.payload_bits_per_frame())));
-    }
 
     const auto panel = hvs::make_observer_panel(config.observers, config.observer_seed);
     std::vector<hvs::Flicker_assessor> assessors;
@@ -231,17 +219,41 @@ hvs::Panel_result run_flicker_experiment(const Flicker_experiment_config& config
                                config.options);
     }
 
-    const video::Playback_schedule schedule{config.inframe.display_fps,
-                                            config.inframe.video_fps};
-    for (std::int64_t j = 0; j < total_display_frames; ++j) {
-        const auto video_frame = config.video->frame(schedule.video_frame_for_display(j));
-        const auto display_frame = config.frame_producer
-                                       ? config.frame_producer(video_frame, j)
-                                       : encoder.next_display_frame(video_frame);
-        // The paper's side-by-side protocol: observers rate the difference
-        // from the unmodified video, not the video's own motion.
-        for (auto& assessor : assessors) assessor.push_frame_pair(display_frame, video_frame);
+    // Video -> produce (encoder or the caller's frame_producer) ->
+    // observer panel. The produce stage keeps the raw video frame on the
+    // token's reference slot: the paper's side-by-side protocol has
+    // observers rate the difference from the unmodified video, not the
+    // video's own motion.
+    Pipeline pipeline;
+    pipeline.emplace_stage<Video_stage>(
+        config.video,
+        video::Playback_schedule{config.inframe.display_fps, config.inframe.video_fps});
+    if (config.frame_producer) {
+        pipeline.emplace_stage<Function_stage>("produce", [&config](Frame_token token) {
+            img::Imagef display = config.frame_producer(token.image, token.index);
+            token.reference = std::move(token.image);
+            token.image = std::move(display);
+            std::vector<Frame_token> out;
+            out.push_back(std::move(token));
+            return out;
+        });
+    } else {
+        Encode_stage::Options encode_options;
+        encode_options.payloads = make_random_payload_source(
+            config.data_seed, config.inframe.geometry.payload_bits_per_frame());
+        encode_options.emit_reference = true;
+        pipeline.emplace_stage<Encode_stage>(config.inframe, std::move(encode_options));
     }
+    pipeline.emplace_stage<Function_stage>("assess", [&assessors](Frame_token token) {
+        for (auto& assessor : assessors) assessor.push_frame_pair(token.image, token.reference);
+        std::vector<Frame_token> out;
+        out.push_back(std::move(token)); // runtime recycles sink output frames
+        return out;
+    });
+
+    Pipeline_options pipeline_options;
+    pipeline_options.frames_in_flight = config.frames_in_flight;
+    pipeline.run(total_display_frames, pipeline_options);
 
     hvs::Panel_result result;
     util::Running_stats stats;

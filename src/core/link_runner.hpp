@@ -1,8 +1,9 @@
 // End-to-end experiment harnesses.
 //
-// run_link_experiment drives video + random data through encoder ->
-// display -> camera -> decoder and accounts throughput the way the paper's
-// Fig. 7 does (available-GOB ratio, GOB error rate, goodput).
+// run_link_experiment assembles the Video -> Encode -> Link -> Decode
+// stage graph (core::Pipeline), drives video + random data through it,
+// and accounts throughput the way the paper's Fig. 7 does
+// (available-GOB ratio, GOB error rate, goodput).
 //
 // run_flicker_experiment drives encoder output into the simulated observer
 // panel — the stand-in for the paper's Fig. 6 user study.
@@ -11,6 +12,8 @@
 #include "channel/link.hpp"
 #include "core/decoder.hpp"
 #include "core/encoder.hpp"
+#include "core/pipeline.hpp"
+#include "core/stages.hpp"
 #include "hvs/flicker.hpp"
 #include "video/playback.hpp"
 
@@ -49,10 +52,20 @@ struct Link_experiment_config {
     double duration_s = 4.0;
     std::uint64_t data_seed = util::Prng::default_seed;
 
+    // Payload bits per data frame, pulled lazily as frames go on air.
+    // Empty = the paper's pseudo-random generator seeded with data_seed
+    // (make_random_payload_source).
+    Payload_source payloads;
+
     // Worker threads for this experiment: -1 inherits inframe.threads,
     // 0 = hardware concurrency, 1 = serial, N = exactly N lanes. Output is
     // bit-identical for every value (see DESIGN.md).
     int threads = -1;
+
+    // Frames-in-flight window for the stage-graph executor: 1 = serial,
+    // >1 overlaps stages across display frames (one thread per stage,
+    // bounded queues). Output is bit-identical for every value.
+    int frames_in_flight = 1;
 };
 
 struct Link_experiment_result {
@@ -81,6 +94,11 @@ struct Link_experiment_result {
     double recovered_gob_ratio = 0.0;  // parity-filled GOBs / all GOBs
     double occluded_block_ratio = 0.0; // occlusion-flagged / all blocks
     std::int64_t captures_dropped = 0; // swallowed by the impairment chain
+
+    // Stage-graph observability for this run: per-stage wall time, queue
+    // occupancy/waits, Frame_pool hit/miss deltas. Not part of the
+    // deterministic payload — timings vary run to run.
+    Pipeline_metrics pipeline;
 };
 
 Link_experiment_result run_link_experiment(const Link_experiment_config& config);
@@ -97,6 +115,9 @@ struct Flicker_experiment_config {
 
     // Same contract as Link_experiment_config::threads.
     int threads = -1;
+
+    // Same contract as Link_experiment_config::frames_in_flight.
+    int frames_in_flight = 1;
 
     // Optional replacement for the InFrame encoder: maps (video frame,
     // display index) to the displayed frame. Used by the Fig. 3 naive

@@ -32,6 +32,8 @@ Imagef Frame_pool::acquire(int width, int height, int channels)
             free_[best] = std::move(free_.back());
             free_.pop_back();
             ++reuses_;
+        } else {
+            ++misses_;
         }
     }
     return Imagef(width, height, channels, std::move(storage));
@@ -62,6 +64,12 @@ std::size_t Frame_pool::reuse_count() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return reuses_;
+}
+
+Frame_pool::Counters Frame_pool::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Counters{reuses_, misses_};
 }
 
 void Frame_pool::clear()

@@ -38,6 +38,15 @@ public:
     std::size_t pooled() const;
     std::size_t reuse_count() const;
 
+    // Lifetime acquire outcomes: hits served from the freelist, misses
+    // that fell through to a fresh allocation. The pipeline's
+    // observability taps report the delta across a run.
+    struct Counters {
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+    };
+    Counters counters() const;
+
     // Drops all pooled buffers (tests; memory pressure).
     void clear();
 
@@ -49,6 +58,7 @@ private:
     mutable std::mutex mutex_;
     std::vector<std::vector<float>> free_;
     std::size_t reuses_ = 0;
+    std::size_t misses_ = 0;
 };
 
 } // namespace inframe::img

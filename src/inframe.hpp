@@ -14,6 +14,8 @@
 #include "core/sync.hpp"        // Phase_estimator, Synced_decoder
 #include "core/calibration.hpp" // viewing-geometry bootstrap
 #include "core/link_runner.hpp" // experiment harnesses
+#include "core/pipeline.hpp"    // stage-graph runtime (Pipeline, Stage)
+#include "core/stages.hpp"      // Video/Encode/Link/Decode/Send/Receive stages
 
 // Substrates.
 #include "channel/display.hpp"

@@ -1,0 +1,123 @@
+// Bounded single-producer/single-consumer queue for the stage-graph
+// pipeline (core::Pipeline).
+//
+// Each edge of the stage graph is one Spsc_queue: the upstream stage
+// thread pushes, the downstream stage thread pops, and the bounded
+// capacity is the frames-in-flight window — a full queue blocks the
+// producer (backpressure), an empty queue blocks the consumer. Tokens
+// move through; nothing is copied.
+//
+// The implementation is mutex + condition variables rather than a
+// lock-free ring: tokens flow at display-frame rate (one token per
+// multi-millisecond stage invocation), so queue overhead is noise, and
+// the mutex keeps the close/teardown semantics easy to prove correct.
+//
+// The queue also counts what the pipeline's observability taps report:
+// how often each side blocked, and the occupancy the consumer saw.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace inframe::util {
+
+template <typename T>
+class Spsc_queue {
+public:
+    explicit Spsc_queue(std::size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+    Spsc_queue(const Spsc_queue&) = delete;
+    Spsc_queue& operator=(const Spsc_queue&) = delete;
+
+    // Blocks while the queue is full. Returns false (and drops nothing
+    // into the queue) once the queue is closed — the producer's signal
+    // that the consumer has gone away.
+    bool push(T&& value)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (items_.size() >= capacity_ && !closed_) {
+            ++full_waits_;
+            not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+        }
+        if (closed_) return false;
+        items_.push_back(std::move(value));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    // Blocks while the queue is empty. Returns nullopt once the queue is
+    // closed *and* drained — in-flight items are always delivered.
+    std::optional<T> pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (items_.empty() && !closed_) {
+            ++empty_waits_;
+            not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+        }
+        if (items_.empty()) return std::nullopt;
+        depth_sum_ += static_cast<std::int64_t>(items_.size());
+        ++pops_;
+        std::optional<T> value(std::move(items_.front()));
+        items_.pop_front();
+        not_full_.notify_one();
+        return value;
+    }
+
+    // No more pushes will be accepted; wakes both sides. Idempotent.
+    // Either side may close (the producer when its stream ends, the
+    // consumer when it aborts).
+    void close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    // --- observability -----------------------------------------------
+    // Times push() blocked on a full queue (downstream is the bottleneck).
+    std::int64_t full_waits() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return full_waits_;
+    }
+
+    // Times pop() blocked on an empty queue (upstream is the bottleneck).
+    std::int64_t empty_waits() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return empty_waits_;
+    }
+
+    // Mean occupancy observed at pop time (including the popped item).
+    double mean_depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return pops_ > 0 ? static_cast<double>(depth_sum_) / static_cast<double>(pops_) : 0.0;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+    std::int64_t full_waits_ = 0;
+    std::int64_t empty_waits_ = 0;
+    std::int64_t pops_ = 0;
+    std::int64_t depth_sum_ = 0;
+};
+
+} // namespace inframe::util

@@ -158,15 +158,22 @@ void Thread_pool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_
 
 namespace {
 
-int g_requested_threads = 1;
+std::atomic<int> g_requested_threads{1};
+
+// Guards pool construction/replacement: the stage-graph executor
+// (core::Pipeline) calls ambient parallel_for from several stage threads
+// at once, and the first calls may race to build the pool.
+std::mutex g_pool_mutex;
 std::unique_ptr<Thread_pool> g_pool;
 
 Thread_pool* ambient_pool()
 {
-    if (g_requested_threads <= 1) return nullptr;
-    if (!g_pool || g_pool->thread_count() != g_requested_threads) {
+    const int requested = g_requested_threads.load(std::memory_order_relaxed);
+    if (requested <= 1) return nullptr;
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool || g_pool->thread_count() != requested) {
         g_pool.reset(); // join old workers before spawning the new pool
-        g_pool = std::make_unique<Thread_pool>(g_requested_threads);
+        g_pool = std::make_unique<Thread_pool>(requested);
     }
     return g_pool.get();
 }
@@ -182,22 +189,23 @@ int resolve_threads(int requested)
 
 void set_parallel_threads(int threads)
 {
-    g_requested_threads = resolve_threads(threads);
+    g_requested_threads.store(resolve_threads(threads), std::memory_order_relaxed);
 }
 
 int parallel_threads()
 {
-    return g_requested_threads;
+    return g_requested_threads.load(std::memory_order_relaxed);
 }
 
-Parallel_scope::Parallel_scope(int threads) : previous_(g_requested_threads)
+Parallel_scope::Parallel_scope(int threads)
+    : previous_(g_requested_threads.load(std::memory_order_relaxed))
 {
     set_parallel_threads(threads);
 }
 
 Parallel_scope::~Parallel_scope()
 {
-    g_requested_threads = previous_;
+    g_requested_threads.store(previous_, std::memory_order_relaxed);
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain, const Range_fn& fn)

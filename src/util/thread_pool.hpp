@@ -51,6 +51,12 @@ public:
     //
     // Calls from inside a worker (nested parallelism) run serially inline —
     // the outer parallel_for already owns the lanes.
+    //
+    // Concurrent top-level calls from *different* threads are supported:
+    // each caller always executes its own job to completion (workers are
+    // opportunistic helpers that drain whichever job was posted last), so
+    // the stage-graph executor's stage threads can share one pool. Chunk
+    // boundaries stay scheduling-independent, so outputs are unaffected.
     void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                       const Range_fn& fn);
 

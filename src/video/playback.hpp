@@ -15,10 +15,14 @@ struct Playback_schedule {
     double video_fps = 30.0;
 
     // Display frames per video frame (must divide evenly; the paper's rig
-    // is 120/30 = 4).
+    // is 120/30 = 4). Throws for non-integer ratios — callers that need a
+    // fixed repeat count (the encoder's tau cadence) require one.
     int repeats_per_video_frame() const;
 
-    // Video frame shown during the given display frame.
+    // Video frame shown during the given display frame. Supports
+    // non-integer ratios (e.g. 120 Hz display, 23.976 fps film) by
+    // holding each video frame for its presentation interval, so
+    // repeat counts alternate 3:2-pulldown style.
     std::int64_t video_frame_for_display(std::int64_t display_index) const;
 
     // Display timestamp in seconds.

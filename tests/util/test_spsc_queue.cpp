@@ -1,0 +1,131 @@
+#include "util/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using inframe::util::Spsc_queue;
+
+TEST(SpscQueue, PreservesFifoOrder)
+{
+    Spsc_queue<int> queue(4);
+    std::vector<int> received;
+    std::thread consumer([&] {
+        while (auto v = queue.pop()) received.push_back(*v);
+    });
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(queue.push(int(i)));
+    queue.close();
+    consumer.join();
+    ASSERT_EQ(received.size(), 100u);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SpscQueue, CapacityBoundsOccupancy)
+{
+    // With capacity 2 and a consumer that acknowledges each item, the
+    // producer can never run more than capacity + 1 items ahead of the
+    // consumer (capacity queued plus one popped-but-unacknowledged).
+    Spsc_queue<int> queue(2);
+    std::atomic<int> consumed{0};
+    std::atomic<int> produced{0};
+    std::atomic<int> max_lead{0};
+    std::thread consumer([&] {
+        while (auto v = queue.pop()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            consumed.fetch_add(1);
+        }
+    });
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(queue.push(int(i)));
+        const int lead = produced.fetch_add(1) + 1 - consumed.load();
+        int prev = max_lead.load();
+        while (lead > prev && !max_lead.compare_exchange_weak(prev, lead)) {}
+    }
+    queue.close();
+    consumer.join();
+    EXPECT_EQ(consumed.load(), 50);
+    EXPECT_LE(max_lead.load(), 2 + 1);
+}
+
+TEST(SpscQueue, CloseDrainsRemainingItemsThenEnds)
+{
+    Spsc_queue<int> queue(8);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+    queue.close();
+    // Items queued before close() still come out, in order...
+    auto a = queue.pop();
+    auto b = queue.pop();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, 1);
+    EXPECT_EQ(*b, 2);
+    // ...then the queue reports end of stream, and pushes are refused.
+    EXPECT_FALSE(queue.pop().has_value());
+    EXPECT_FALSE(queue.push(3));
+}
+
+TEST(SpscQueue, CloseWakesBlockedConsumer)
+{
+    Spsc_queue<int> queue(2);
+    std::thread consumer([&] { EXPECT_FALSE(queue.pop().has_value()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.close();
+    consumer.join();
+}
+
+TEST(SpscQueue, CloseWakesBlockedProducer)
+{
+    Spsc_queue<int> queue(1);
+    ASSERT_TRUE(queue.push(0)); // fill to capacity
+    std::thread producer([&] { EXPECT_FALSE(queue.push(1)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.close();
+    producer.join();
+}
+
+TEST(SpscQueue, MovesElementsThrough)
+{
+    Spsc_queue<std::unique_ptr<int>> queue(2);
+    EXPECT_TRUE(queue.push(std::make_unique<int>(7)));
+    auto out = queue.pop();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(**out, 7);
+}
+
+TEST(SpscQueue, MetricsCountWaitsAndDepth)
+{
+    Spsc_queue<int> queue(1);
+    EXPECT_TRUE(queue.push(1));
+    (void)queue.pop();
+    EXPECT_TRUE(queue.push(2));
+    (void)queue.pop();
+    // Two pops, each observing depth 1 (the popped item itself).
+    EXPECT_DOUBLE_EQ(queue.mean_depth(), 1.0);
+    EXPECT_EQ(queue.full_waits(), 0);
+    EXPECT_EQ(queue.empty_waits(), 0);
+
+    // A consumer arriving before the producer records an empty-wait.
+    std::thread consumer([&] { EXPECT_TRUE(queue.pop().has_value()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(queue.push(3));
+    consumer.join();
+    EXPECT_GE(queue.empty_waits(), 1);
+}
+
+TEST(SpscQueue, ZeroCapacityClampsToOne)
+{
+    Spsc_queue<int> queue(0);
+    EXPECT_TRUE(queue.push(1)); // does not deadlock: capacity clamped to 1
+    auto v = queue.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 1);
+}
+
+} // namespace

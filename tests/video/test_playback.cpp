@@ -33,8 +33,48 @@ TEST(PlaybackSchedule, SixtyHzDisplay)
 
 TEST(PlaybackSchedule, NonIntegerRatioRejected)
 {
+    // The encoder's complementary-pair cadence needs an integer repeat
+    // count, so repeats_per_video_frame still refuses non-integer ratios
+    // even though video_frame_for_display supports them.
     Playback_schedule schedule{.display_fps = 100.0, .video_fps = 30.0};
     EXPECT_THROW(schedule.repeats_per_video_frame(), Contract_violation);
+}
+
+TEST(PlaybackSchedule, NonIntegerRatioPulldownSequence)
+{
+    // 60 Hz display, 24 fps film: ratio 2.5, the 3:2-pulldown case. Each
+    // video frame is shown floor-alternately 3 then 2 display frames.
+    Playback_schedule schedule{.display_fps = 60.0, .video_fps = 24.0};
+    const std::int64_t expected[] = {0, 0, 0, 1, 1, 2, 2, 2, 3, 3, 4};
+    for (std::int64_t j = 0; j < 11; ++j) {
+        EXPECT_EQ(schedule.video_frame_for_display(j), expected[j]) << "display " << j;
+    }
+}
+
+TEST(PlaybackSchedule, NtscFilmRateMapsMonotonically)
+{
+    // 120 Hz display over 23.976 fps (24000/1001 NTSC film): the mapping
+    // must be monotone non-decreasing, advance by at most one video frame
+    // per display frame, and land on the right frame at whole seconds.
+    Playback_schedule schedule{.display_fps = 120.0, .video_fps = 24000.0 / 1001.0};
+    std::int64_t previous = 0;
+    for (std::int64_t j = 0; j < 1200; ++j) {
+        const auto frame = schedule.video_frame_for_display(j);
+        EXPECT_GE(frame, previous) << "display " << j;
+        EXPECT_LE(frame - previous, 1) << "display " << j;
+        previous = frame;
+    }
+    // After 10 seconds of display time: 10 * 23.976... = 239.76 -> frame 239.
+    EXPECT_EQ(schedule.video_frame_for_display(1199), 239);
+    EXPECT_THROW(schedule.repeats_per_video_frame(), Contract_violation);
+}
+
+TEST(PlaybackSchedule, IntegerRatioUnaffectedByFloatPath)
+{
+    // Integer ratios keep using the exact integer-division path: spot-check
+    // a late frame where accumulated floating-point error would show.
+    Playback_schedule schedule{.display_fps = 120.0, .video_fps = 30.0};
+    EXPECT_EQ(schedule.video_frame_for_display(3'000'000'000LL), 750'000'000LL);
 }
 
 TEST(PlaybackSchedule, DisplayTime)
