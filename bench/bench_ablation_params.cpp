@@ -35,8 +35,9 @@ core::Link_experiment_config base_link(double duration)
 
 int main(int argc, char** argv)
 {
-    const auto scale = bench::parse_scale(argc, argv);
-    const double duration = bench::scale_duration(scale, 1.0, 2.0, 4.0);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
+    const double duration = bench::scale_duration(args.scale, 1.0, 2.0, 4.0);
 
     // ------------------------------------------------------------------
     bench::print_header("Ablation A: transition envelope (SRRC vs linear vs stair)",
@@ -59,7 +60,7 @@ int main(int argc, char** argv)
             table.add_row({std::string(dsp::to_string(shape)), result.mean_score,
                            result.stddev_score});
         }
-        bench::print_table(table);
+        bench::emit_table(args, "ablation_envelope", table);
     }
 
     // ------------------------------------------------------------------
@@ -77,7 +78,7 @@ int main(int argc, char** argv)
                            result.available_gob_ratio, result.block_error_rate,
                            result.trusted_bit_error_rate});
         }
-        bench::print_table(table);
+        bench::emit_table(args, "ablation_detector", table);
     }
 
     // ------------------------------------------------------------------
@@ -94,7 +95,7 @@ int main(int argc, char** argv)
             table.add_row({std::string(on ? "on" : "off"), result.goodput_kbps,
                            result.available_gob_ratio, result.block_error_rate});
         }
-        bench::print_table(table);
+        bench::emit_table(args, "ablation_texture_comp", table);
     }
 
     // ------------------------------------------------------------------
@@ -115,7 +116,7 @@ int main(int argc, char** argv)
             table.add_row({std::string(on ? "on" : "off"), result.mean_score,
                            result.stddev_score});
         }
-        bench::print_table(table);
+        bench::emit_table(args, "ablation_local_cap", table);
     }
 
     // ------------------------------------------------------------------
@@ -147,7 +148,7 @@ int main(int argc, char** argv)
             table.add_row({static_cast<long long>(p), link.raw_rate_kbps, link.goodput_kbps,
                            link.available_gob_ratio, phantom.mean_score});
         }
-        bench::print_table(table);
+        bench::emit_table(args, "ablation_pixel_size", table);
     }
 
     // ------------------------------------------------------------------
@@ -163,7 +164,7 @@ int main(int argc, char** argv)
             table.add_row({h, result.available_gob_ratio, result.gob_error_rate,
                            result.block_error_rate, result.goodput_kbps});
         }
-        bench::print_table(table);
+        bench::emit_table(args, "ablation_hysteresis", table);
     }
 
     // ------------------------------------------------------------------
@@ -197,7 +198,7 @@ int main(int argc, char** argv)
                                result.block_error_rate});
             }
         }
-        bench::print_table(table);
+        bench::emit_table(args, "ablation_content_survey", table);
     }
 
     std::printf("done.\n");

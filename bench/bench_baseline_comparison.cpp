@@ -19,8 +19,9 @@
 int main(int argc, char** argv)
 {
     using namespace inframe;
-    const auto scale = bench::parse_scale(argc, argv);
-    const double duration = bench::scale_duration(scale, 1.0, 2.0, 4.0);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
+    const double duration = bench::scale_duration(args.scale, 1.0, 2.0, 4.0);
 
     bench::print_header("Baseline comparison: exclusive barcode vs LSB stego vs InFrame",
                         "InFrame trades some of the barcode's capacity for an unimpaired "
@@ -109,7 +110,7 @@ int main(int argc, char** argv)
                        score.mean_score, std::string("yes (full frame)")});
     }
 
-    bench::print_table(table);
+    bench::emit_table(args, "baseline_comparison", table);
     std::printf("note: rates at this reduced 480x270 demo scale; Fig. 7's bench runs the\n"
                 "paper's full 1920x1080 rig where InFrame reaches ~11-13 kbps.\n");
     return 0;

@@ -42,8 +42,9 @@ void report(util::Table& table, const std::string& label,
 
 int main(int argc, char** argv)
 {
-    const auto scale = bench::parse_scale(argc, argv);
-    const double duration = bench::scale_duration(scale, 1.0, 2.0, 4.0);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
+    const double duration = bench::scale_duration(args.scale, 1.0, 2.0, 4.0);
 
     bench::print_header("Robustness 1: exposure time vs the complementary pair",
                         "exposure near one display period integrates +D and -D together and "
@@ -57,7 +58,7 @@ int main(int argc, char** argv)
             report(table, "1/" + util::format_fixed(denominator, 0) + " s",
                    core::run_link_experiment(config));
         }
-        bench::print_table(table);
+        bench::emit_table(args, "robustness_exposure", table);
     }
 
     bench::print_header("Robustness 2: rolling-shutter readout skew",
@@ -72,7 +73,7 @@ int main(int argc, char** argv)
             report(table, util::format_fixed(readout_ms, 1) + " ms",
                    core::run_link_experiment(config));
         }
-        bench::print_table(table);
+        bench::emit_table(args, "robustness_readout", table);
     }
 
     bench::print_header("Robustness 3: sensor noise (capture quality)",
@@ -85,7 +86,7 @@ int main(int argc, char** argv)
             config.camera.shot_noise_scale = shot;
             report(table, util::format_fixed(shot, 2), core::run_link_experiment(config));
         }
-        bench::print_table(table);
+        bench::emit_table(args, "robustness_noise", table);
     }
 
     bench::print_header("Robustness 4: camera/display frame-rate mismatch",
@@ -99,7 +100,7 @@ int main(int argc, char** argv)
             config.camera.fps = fps;
             report(table, util::format_fixed(fps, 2), core::run_link_experiment(config));
         }
-        bench::print_table(table);
+        bench::emit_table(args, "robustness_fps_mismatch", table);
     }
 
     bench::print_header("Robustness 5: optical blur",
@@ -113,7 +114,7 @@ int main(int argc, char** argv)
             config.camera.optical_blur_sigma = sigma;
             report(table, util::format_fixed(sigma, 1), core::run_link_experiment(config));
         }
-        bench::print_table(table);
+        bench::emit_table(args, "robustness_blur", table);
     }
 
     bench::print_header("Robustness 6: perspective viewing angle (extension)",
@@ -136,7 +137,7 @@ int main(int argc, char** argv)
             config.decoder_capture_to_screen = sensor_to_screen;
             report(table, util::format_fixed(inset, 0), core::run_link_experiment(config));
         }
-        bench::print_table(table);
+        bench::emit_table(args, "robustness_perspective", table);
     }
 
     std::printf("done.\n");

@@ -1,11 +1,13 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include "telemetry/telemetry.hpp"
 #include "util/csv.hpp"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -44,6 +46,28 @@ inline double scale_duration(Run_scale scale, double quick, double normal, doubl
     return normal;
 }
 
+// Full command line of a scale-driven bench:
+//   --smoke|--quick|--full   run scale (see Run_scale)
+//   --csv <dir>              also write every table as <dir>/<slug>.csv
+//   --trace <dir>            telemetry export (trace.json, frames.jsonl,
+//                            metrics.json) for the whole bench run
+struct Args {
+    Run_scale scale = Run_scale::normal;
+    std::string csv_dir;
+    telemetry::Config telemetry;
+};
+
+inline Args parse_args(int argc, char** argv)
+{
+    Args args;
+    args.scale = parse_scale(argc, argv);
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) args.csv_dir = argv[i + 1];
+    }
+    args.telemetry = telemetry::config_from_args(argc, argv);
+    return args;
+}
+
 inline void print_header(const char* figure, const char* paper_statement)
 {
     std::printf("================================================================\n");
@@ -56,6 +80,20 @@ inline void print_table(const util::Table& table)
 {
     table.print(std::cout);
     std::cout << "\n";
+}
+
+// Prints the table and, under --csv, also writes it as <csv_dir>/<slug>.csv
+// (consistent column names: whatever the stdout table shows is what the
+// CSV carries). Every bench table goes through here so each bench_* run
+// leaves a machine-readable artifact next to its stdout output.
+inline void emit_table(const Args& args, const char* slug, const util::Table& table)
+{
+    print_table(table);
+    if (args.csv_dir.empty()) return;
+    std::filesystem::create_directories(args.csv_dir);
+    const auto path = (std::filesystem::path(args.csv_dir) / (std::string(slug) + ".csv")).string();
+    table.write_csv_file(path);
+    std::printf("[csv] %s\n\n", path.c_str());
 }
 
 } // namespace inframe::bench

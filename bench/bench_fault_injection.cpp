@@ -99,8 +99,9 @@ bool identical(const core::Link_experiment_result& a, const core::Link_experimen
 
 int main(int argc, char** argv)
 {
-    const auto scale = bench::parse_scale(argc, argv);
-    const double duration = bench::scale_duration(scale, 1.0, 2.0, 4.0);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
+    const double duration = bench::scale_duration(args.scale, 1.0, 2.0, 4.0);
 
     bench::print_header("Fault injection 1: capture frame drops + stale duplication",
                         "capture-pipeline losses thin the vote per data frame; erasure "
@@ -113,7 +114,7 @@ int main(int argc, char** argv)
             config.impairments.duplicate_probability = drop > 0.0 ? 0.05 : 0.0;
             report(table, "drop " + util::format_fixed(drop, 2), run_both(config), drop > 0.0);
         }
-        bench::print_table(table);
+        bench::emit_table(args, "fault_drop", table);
     }
 
     bench::print_header("Fault injection 2: translational camera shake",
@@ -127,7 +128,7 @@ int main(int argc, char** argv)
             report(table, "sigma " + util::format_fixed(sigma, 1) + " px", run_both(config),
                    sigma > 0.0);
         }
-        bench::print_table(table);
+        bench::emit_table(args, "fault_shake", table);
     }
 
     bench::print_header("Fault injection 3: partial occlusion",
@@ -142,7 +143,7 @@ int main(int argc, char** argv)
             report(table, "area " + util::format_fixed(fraction, 2), run_both(config),
                    fraction > 0.0);
         }
-        bench::print_table(table);
+        bench::emit_table(args, "fault_occlusion", table);
     }
 
     bench::print_header("Fault injection 4: exposure/gain drift",
@@ -157,7 +158,7 @@ int main(int argc, char** argv)
             report(table, "gain +-" + util::format_fixed(amplitude, 2), run_both(config),
                    amplitude > 0.0);
         }
-        bench::print_table(table);
+        bench::emit_table(args, "fault_exposure_drift", table);
     }
 
     bench::print_header("Fault injection 5: rolling-shutter tear",
@@ -172,7 +173,7 @@ int main(int argc, char** argv)
             report(table, "p " + util::format_fixed(probability, 2), run_both(config),
                    probability > 0.0);
         }
-        bench::print_table(table);
+        bench::emit_table(args, "fault_tear", table);
     }
 
     bench::print_header("Determinism: combined impairments, threads 1 vs 4",
@@ -209,7 +210,7 @@ int main(int argc, char** argv)
     // At smoke scale the runs are too short for the BER comparison to be
     // meaningful; the smoke ctest only guards build/run bitrot and the
     // determinism contract.
-    if (scale != bench::Run_scale::smoke && improved < 2) {
+    if (args.scale != bench::Run_scale::smoke && improved < 2) {
         std::printf("FAIL: erasure-aware decoding should win at >= 2 impaired levels\n");
         return 1;
     }

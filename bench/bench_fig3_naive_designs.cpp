@@ -15,8 +15,9 @@
 int main(int argc, char** argv)
 {
     using namespace inframe;
-    const auto scale = bench::parse_scale(argc, argv);
-    const double duration = bench::scale_duration(scale, 1.0, 2.0, 4.0);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
+    const double duration = bench::scale_duration(args.scale, 1.0, 2.0, 4.0);
 
     bench::print_header(
         "Figure 3: naive frame-insertion designs vs InFrame (flicker 0-4)",
@@ -63,7 +64,7 @@ int main(int argc, char** argv)
     // InFrame itself (empty producer = the real encoder).
     run_scheme("InFrame (V +- D)", nullptr);
 
-    bench::print_table(table);
+    bench::emit_table(args, "fig3_naive_designs", table);
     std::printf("note: data amplitude for naive schemes is 40 (semi-transparent barcodes);\n"
                 "InFrame runs at its default delta = 20, tau = 12.\n");
     return 0;

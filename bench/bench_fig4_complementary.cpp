@@ -20,7 +20,8 @@
 int main(int argc, char** argv)
 {
     using namespace inframe;
-    (void)bench::parse_scale(argc, argv);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
 
     bench::print_header("Figure 4: complementary frame pairs V +- D",
                         "individual multiplexed frames show the chessboard; the pair average "
@@ -57,7 +58,7 @@ int main(int argc, char** argv)
                        static_cast<double>(img::min_max(err).second)});
     }
 
-    bench::print_table(table);
+    bench::emit_table(args, "fig4_complementary", table);
     std::printf("images written to %s/ (PSNR 120 printed for exactly lossless).\n",
                 out_dir.string().c_str());
     return 0;

@@ -18,7 +18,8 @@
 int main(int argc, char** argv)
 {
     using namespace inframe;
-    (void)bench::parse_scale(argc, argv);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
 
     bench::print_header("Figure 5: temporal smoothing waveform + low-pass verification",
                         "the SRRC envelope transitions between data frames without exciting "
@@ -67,7 +68,7 @@ int main(int argc, char** argv)
                        std::string(perceived < threshold ? "below (imperceptible)"
                                                          : "ABOVE (visible)")});
     }
-    bench::print_table(table);
+    bench::emit_table(args, "fig5_waveform", table);
 
     // --- The 60 Hz carrier claim -----------------------------------------
     const std::uint8_t steady[] = {1, 1, 1, 1, 1, 1, 1, 1};

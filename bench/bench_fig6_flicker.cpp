@@ -40,8 +40,9 @@ hvs::Panel_result run_panel(float brightness, float delta, int tau, double durat
 int main(int argc, char** argv)
 {
     using namespace inframe;
-    const auto scale = bench::parse_scale(argc, argv);
-    const double duration = bench::scale_duration(scale, 1.0, 2.0, 3.0);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
+    const double duration = bench::scale_duration(args.scale, 1.0, 2.0, 3.0);
 
     bench::print_header("Figure 6 (left): flicker perception vs color brightness",
                         "scores stay mostly at 0-1 ('satisfactory'); flicker strengthens as "
@@ -57,7 +58,7 @@ int main(int argc, char** argv)
             table.add_row({static_cast<double>(brightness), low.mean_score, low.stddev_score,
                            high.mean_score, high.stddev_score});
         }
-        bench::print_table(table);
+        bench::emit_table(args, "fig6_brightness", table);
     }
 
     bench::print_header("Figure 6 (right): flicker perception vs waveform amplitude",
@@ -75,7 +76,7 @@ int main(int argc, char** argv)
             }
             table.add_row(std::move(row));
         }
-        bench::print_table(table);
+        bench::emit_table(args, "fig6_amplitude", table);
     }
 
     std::printf("scale: 0 = no difference, 1 = almost unnoticeable, 2 = merely noticeable,\n"

@@ -17,8 +17,9 @@
 int main(int argc, char** argv)
 {
     using namespace inframe;
-    const auto scale = bench::parse_scale(argc, argv);
-    const double duration = bench::scale_duration(scale, 1.0, 2.0, 4.0);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
+    const double duration = bench::scale_duration(args.scale, 1.0, 2.0, 4.0);
 
     bench::print_header(
         "Figure 7: throughput / available GOBs / GOB errors (full-scale rig)",
@@ -61,7 +62,7 @@ int main(int argc, char** argv)
         }
     }
     std::printf("\n");
-    bench::print_table(table);
+    bench::emit_table(args, "fig7_throughput", table);
     std::printf("run with --full for longer (more stable) runs, --quick for a sanity pass.\n");
     return 0;
 }

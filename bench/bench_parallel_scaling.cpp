@@ -48,22 +48,29 @@ core::Link_experiment_config make_config(double duration, int threads, int frame
     return config;
 }
 
-void print_pipeline_metrics(const core::Pipeline_metrics& metrics)
+void print_pipeline_metrics(const bench::Args& args, const core::Pipeline_metrics& metrics)
 {
     std::printf("pipeline observability (frames_in_flight=%d, wall %.2f s, %lld head tokens):\n",
                 metrics.frames_in_flight, metrics.wall_s,
                 static_cast<long long>(metrics.head_tokens));
     util::Table stages({"stage", "busy s", "share", "tokens in", "tokens out",
                         "mean queue depth", "input waits", "output waits"});
+    // Queue fields are -1 when the stage has no queue on that side
+    // (serial mode, head input, sink output); show those as "-".
+    const auto count_cell = [](std::int64_t v) -> util::Table::Cell {
+        if (v < 0) return std::string("-");
+        return static_cast<long long>(v);
+    };
     for (const auto& s : metrics.stages) {
         stages.add_row({s.name, s.wall_s,
                         metrics.wall_s > 0.0 ? s.wall_s / metrics.wall_s : 0.0,
                         static_cast<long long>(s.tokens_in),
-                        static_cast<long long>(s.tokens_out), s.mean_input_queue_depth,
-                        static_cast<long long>(s.input_waits),
-                        static_cast<long long>(s.output_waits)});
+                        static_cast<long long>(s.tokens_out),
+                        s.mean_input_queue_depth < 0.0 ? util::Table::Cell(std::string("-"))
+                                                       : util::Table::Cell(s.mean_input_queue_depth),
+                        count_cell(s.input_waits), count_cell(s.output_waits)});
     }
-    bench::print_table(stages);
+    bench::emit_table(args, "scaling_stage_metrics", stages);
     std::printf("frame pool: %lld hits, %lld misses\n",
                 static_cast<long long>(metrics.pool_hits),
                 static_cast<long long>(metrics.pool_misses));
@@ -73,8 +80,9 @@ void print_pipeline_metrics(const core::Pipeline_metrics& metrics)
 
 int main(int argc, char** argv)
 {
-    const auto scale = bench::parse_scale(argc, argv);
-    const double duration = bench::scale_duration(scale, 0.5, 2.0, 6.0);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
+    const double duration = bench::scale_duration(args.scale, 0.5, 2.0, 6.0);
 
     bench::print_header(
         "Parallel scaling: link-experiment throughput vs threads and frames in flight",
@@ -114,7 +122,7 @@ int main(int argc, char** argv)
                         matches ? "" : " — MISMATCH vs serial");
         }
         std::printf("\n");
-        bench::print_table(table);
+        bench::emit_table(args, "scaling_threads", table);
     }
 
     // --- axis 2: frames in flight (threads = 1) --------------------------
@@ -141,9 +149,9 @@ int main(int argc, char** argv)
                         matches ? "" : " — MISMATCH vs serial");
         }
         std::printf("\n");
-        bench::print_table(table);
+        bench::emit_table(args, "scaling_frames_in_flight", table);
         std::printf("\n");
-        print_pipeline_metrics(overlap_metrics);
+        print_pipeline_metrics(args, overlap_metrics);
     }
 
     std::printf("\nrun with --full for longer (more stable) runs, --quick for a sanity pass.\n");

@@ -33,8 +33,9 @@ struct Point {
 
 int main(int argc, char** argv)
 {
-    const auto scale = bench::parse_scale(argc, argv);
-    const double duration = bench::scale_duration(scale, 1.0, 1.5, 3.0);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
+    const double duration = bench::scale_duration(args.scale, 1.0, 1.5, 3.0);
 
     bench::print_header("Pareto frontier: goodput vs perceived flicker (5's open question)",
                         "larger delta/smaller tau raise throughput and flicker together; the "
@@ -85,7 +86,7 @@ int main(int argc, char** argv)
                        std::string(p.flicker <= 1.0 ? "yes" : "no"),
                        std::string(dominated ? "" : "<-- frontier")});
     }
-    bench::print_table(table);
+    bench::emit_table(args, "pareto_tradeoff", table);
 
     // The answer to 5's question: best acceptable operating point.
     const Point* best = nullptr;

@@ -130,8 +130,9 @@ Lock_result run_acquisition(int offset_display_frames, double shot_noise, double
 
 int main(int argc, char** argv)
 {
-    const auto scale = bench::parse_scale(argc, argv);
-    const double duration = bench::scale_duration(scale, 2.0, 3.0, 5.0);
+    const auto args = bench::parse_args(argc, argv);
+    telemetry::Session telemetry_session(args.telemetry);
+    const double duration = bench::scale_duration(args.scale, 2.0, 3.0, 5.0);
 
     bench::print_header("Sync acquisition: locking onto an unsynchronized broadcast",
                         "extension: the paper assumes a synchronized start; the phase "
@@ -150,7 +151,7 @@ int main(int argc, char** argv)
                                : 0.0});
         }
     }
-    bench::print_table(table);
+    bench::emit_table(args, "sync_acquisition", table);
     std::printf("lock time includes the %d-capture observation window the estimator needs.\n",
                 Sync_params{}.min_captures);
     return 0;

@@ -11,6 +11,7 @@
 #include "core/pipeline.hpp"
 #include "core/stages.hpp"
 #include "imgproc/pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
 #include "video/playback.hpp"
@@ -18,9 +19,12 @@
 #include <cstdio>
 #include <string>
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace inframe;
+
+    // `--trace <dir>` exports trace.json / frames.jsonl / metrics.json.
+    telemetry::Session telemetry_session(telemetry::config_from_args(argc, argv));
 
     constexpr int width = 480;
     constexpr int height = 270;

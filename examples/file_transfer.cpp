@@ -13,9 +13,12 @@
 
 #include <cstdio>
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace inframe;
+
+    // `--trace <dir>` exports trace.json / frames.jsonl / metrics.json.
+    telemetry::Session telemetry_session(telemetry::config_from_args(argc, argv));
 
     constexpr int width = 480;
     constexpr int height = 270;

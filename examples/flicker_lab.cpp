@@ -10,6 +10,7 @@
 #include "imgproc/image_ops.hpp"
 #include "imgproc/io.hpp"
 #include "imgproc/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/csv.hpp"
 #include "util/prng.hpp"
 #include "video/playback.hpp"
@@ -18,9 +19,12 @@
 #include <filesystem>
 #include <iostream>
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace inframe;
+
+    // `--trace <dir>` exports trace.json / frames.jsonl / metrics.json.
+    telemetry::Session telemetry_session(telemetry::config_from_args(argc, argv));
 
     constexpr int width = 480;
     constexpr int height = 270;

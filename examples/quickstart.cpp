@@ -10,15 +10,20 @@
 
 #include "core/pipeline.hpp"
 #include "core/stages.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 #include "video/playback.hpp"
 
 #include <cstdio>
 #include <string>
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace inframe;
+
+    // `--trace <dir>` writes trace.json (open in Perfetto / about:tracing),
+    // frames.jsonl and metrics.json there; summarize with telemetry_report.
+    telemetry::Session telemetry_session(telemetry::config_from_args(argc, argv));
 
     constexpr int width = 480;
     constexpr int height = 270;
@@ -94,11 +99,15 @@ int main()
     std::printf("\npipeline (%d frames in flight, %.2f s wall):\n", metrics.frames_in_flight,
                 metrics.wall_s);
     for (const auto& stage : metrics.stages) {
-        std::printf("  %-8s %6.2f s busy  %6lld in %6lld out  waits in/out %lld/%lld\n",
+        // Wait counters are -1 where the stage has no queue on that side
+        // (the head has no input queue, the sink no output queue).
+        const auto waits = [](std::int64_t w) {
+            return w < 0 ? std::string("-") : std::to_string(w);
+        };
+        std::printf("  %-8s %6.2f s busy  %6lld in %6lld out  waits in/out %s/%s\n",
                     stage.name.c_str(), stage.wall_s, static_cast<long long>(stage.tokens_in),
                     static_cast<long long>(stage.tokens_out),
-                    static_cast<long long>(stage.input_waits),
-                    static_cast<long long>(stage.output_waits));
+                    waits(stage.input_waits).c_str(), waits(stage.output_waits).c_str());
     }
     std::printf("  frame pool: %lld hits / %lld misses\n",
                 static_cast<long long>(metrics.pool_hits),

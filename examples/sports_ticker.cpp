@@ -16,6 +16,7 @@
 #include "core/session.hpp"
 #include "core/stages.hpp"
 #include "imgproc/pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 #include "video/playback.hpp"
@@ -80,9 +81,12 @@ private:
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace inframe;
+
+    // `--trace <dir>` exports trace.json / frames.jsonl / metrics.json.
+    telemetry::Session telemetry_session(telemetry::config_from_args(argc, argv));
 
     constexpr int width = 480;
     constexpr int height = 270;

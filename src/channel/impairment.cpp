@@ -2,6 +2,7 @@
 
 #include "imgproc/pool.hpp"
 #include "imgproc/warp.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
@@ -74,6 +75,7 @@ void Impairment_chain::add(std::unique_ptr<Impairment> stage)
 Capture_fate Impairment_chain::apply(img::Imagef& image, std::int64_t capture_index)
 {
     for (auto& stage : stages_) {
+        telemetry::Scoped_span span(stage->name());
         if (stage->apply(image, capture_index) == Capture_fate::dropped) {
             return Capture_fate::dropped;
         }
@@ -126,10 +128,14 @@ Timing_impairment::Timing_impairment(std::uint64_t seed, double drop_probability
 Capture_fate Timing_impairment::apply(img::Imagef& image, std::int64_t capture_index)
 {
     util::Prng prng(impairment_draw_seed(seed_, stage_timing, capture_index));
-    if (prng.next_double() < drop_probability_) return Capture_fate::dropped;
+    if (prng.next_double() < drop_probability_) {
+        telemetry::emit_event({"impairment", "drop", capture_index, 0.0});
+        return Capture_fate::dropped;
+    }
     if (duplicate_probability_ > 0.0) {
         const bool duplicate = prng.next_double() < duplicate_probability_;
         if (duplicate && !previous_.empty() && previous_.same_shape(image)) {
+            telemetry::emit_event({"impairment", "duplicate", capture_index, 0.0});
             // Stale delivery: the pipeline repeats the previous buffer in
             // this capture's slot. The stale image stays `previous_` so a
             // run of duplicates repeats the same frame, as real ISPs do.
@@ -176,6 +182,9 @@ Capture_fate Exposure_drift_impairment::apply(img::Imagef& image, std::int64_t c
 {
     const auto gain = static_cast<float>(gain_at(capture_index));
     const auto offset = static_cast<float>(offset_at(capture_index));
+    static const int gain_metric =
+        telemetry::intern_metric("impairment.gain", telemetry::Metric_kind::gauge);
+    telemetry::gauge_set(gain_metric, gain);
     if (gain == 1.0f && offset == 0.0f) return Capture_fate::delivered;
     // Pure per-value transform: parallel over rows, deterministic at any
     // thread count.
@@ -208,6 +217,9 @@ Capture_fate Shake_impairment::apply(img::Imagef& image, std::int64_t capture_in
     double dx = 0.0;
     double dy = 0.0;
     jitter_at(capture_index, dx, dy);
+    static const int shake_metric =
+        telemetry::intern_metric("impairment.shake_px", telemetry::Metric_kind::histogram);
+    telemetry::histogram_record(shake_metric, std::hypot(dx, dy));
     if (dx == 0.0 && dy == 0.0) return Capture_fate::delivered;
     // The jitter composes with the viewing homography: the screen image
     // lands translated on the sensor, and the decoder's calibration does
@@ -243,6 +255,7 @@ Capture_fate Tear_impairment::apply(img::Imagef& image, std::int64_t capture_ind
 {
     const int seam = tear_row_at(capture_index, image.height());
     if (seam < 0 || shift_px_ == 0) return Capture_fate::delivered;
+    telemetry::emit_event({"impairment", "tear", capture_index, static_cast<double>(seam)});
     const int channels = image.channels();
     const int row_values = image.width() * channels;
     const int shift_values = shift_px_ * channels;

@@ -1,6 +1,7 @@
 #include "channel/link.hpp"
 
 #include "imgproc/pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
@@ -57,9 +58,15 @@ std::vector<Capture> Screen_camera_link::push_display_frame(const img::Imagef& f
         if (!impairments_.empty()
             && impairments_.apply(capture.image, capture.index) == Capture_fate::dropped) {
             ++captures_dropped_;
+            static const int dropped_metric =
+                telemetry::intern_metric("link.captures_dropped", telemetry::Metric_kind::counter);
+            telemetry::counter_add(dropped_metric);
             img::Frame_pool::instance().recycle(std::move(capture.image));
             continue;
         }
+        static const int delivered_metric =
+            telemetry::intern_metric("link.captures_delivered", telemetry::Metric_kind::counter);
+        telemetry::counter_add(delivered_metric);
         completed.push_back(std::move(capture));
     }
     trim_buffer();
@@ -68,6 +75,7 @@ std::vector<Capture> Screen_camera_link::push_display_frame(const img::Imagef& f
 
 Capture Screen_camera_link::assemble_capture()
 {
+    telemetry::Scoped_span span("link.capture");
     const double capture_start =
         camera_params_.phase_offset_s + static_cast<double>(capture_index_) / camera_params_.fps;
     const int rows = camera_params_.sensor_height;

@@ -3,6 +3,7 @@
 #include "imgproc/filter.hpp"
 #include "imgproc/image_ops.hpp"
 #include "imgproc/pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/contract.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -359,9 +360,16 @@ double Inframe_decoder::select_threshold(std::span<const double> metrics) const
     return split.bimodal ? split.value : params_.fixed_threshold;
 }
 
+void Inframe_decoder::set_sync_context(int locked, double offset_s)
+{
+    sync_locked_ = locked;
+    sync_offset_s_ = offset_s;
+}
+
 std::vector<Data_frame_result> Inframe_decoder::push_capture(const img::Imagef& capture,
                                                              double start_time)
 {
+    telemetry::Scoped_span span("decode.capture");
     util::expects(start_time >= 0.0, "decoder: capture time must be non-negative");
     std::vector<Data_frame_result> finalized;
 
@@ -411,6 +419,10 @@ std::optional<Data_frame_result> Inframe_decoder::flush()
 
 Data_frame_result Inframe_decoder::finalize()
 {
+    telemetry::Scoped_span span("decode.finalize");
+    const bool record_diagnostics = telemetry::enabled();
+    telemetry::Frame_record record;
+
     Data_frame_result result;
     result.data_frame_index = current_frame_;
     result.captures_used = captures_in_frame_;
@@ -459,6 +471,16 @@ Data_frame_result Inframe_decoder::finalize()
                     result.decisions[i] = coding::Block_decision::zero;
                 }
             }
+            if (record_diagnostics && threshold > 0.0) {
+                // Confidence margin of every block this threshold judged:
+                // distance from the decision boundary, relative to it.
+                // Low buckets = blocks drifting toward misclassification.
+                for (std::size_t i = begin; i < begin + count; ++i) {
+                    const double margin = std::abs(metrics[i] - threshold) / threshold;
+                    ++record.margin_hist[static_cast<std::size_t>(
+                        telemetry::Frame_record::margin_bucket(margin))];
+                }
+            }
         };
         if (params_.auto_threshold && params_.row_adaptive) {
             // Per block-row split: adapts to rolling-shutter bands. Rows
@@ -496,6 +518,28 @@ Data_frame_result Inframe_decoder::finalize()
     }
     result.gob = coding::decode_gob_parity(params_.geometry, result.decisions, 0,
                                            params_.erasure_aware);
+
+    if (record_diagnostics) {
+        record.data_frame_index = result.data_frame_index;
+        record.time_s = static_cast<double>(current_frame_) * params_.tau / params_.display_fps;
+        record.captures_used = result.captures_used;
+        record.threshold = result.threshold;
+        record.blocks_total = static_cast<int>(block_count);
+        for (const auto decision : result.decisions) {
+            if (decision == coding::Block_decision::unknown) ++record.blocks_unknown;
+        }
+        for (const auto erased : result.erasures) record.blocks_erased += erased;
+        record.blocks_occluded = result.occluded_blocks;
+        record.gobs_total = static_cast<int>(result.gob.gobs.size());
+        for (const auto& gob : result.gob.gobs) {
+            record.gobs_available += gob.available ? 1 : 0;
+            record.gobs_parity_ok += gob.parity_ok ? 1 : 0;
+            record.gobs_recovered += gob.recovered ? 1 : 0;
+        }
+        record.sync_locked = sync_locked_;
+        record.sync_offset_s = sync_offset_s_;
+        telemetry::emit_frame(record);
+    }
 
     std::fill(metric_sum_.begin(), metric_sum_.end(), 0.0);
     std::fill(level_sum_.begin(), level_sum_.end(), 0.0);

@@ -3,6 +3,7 @@
 #include "coding/parity.hpp"
 #include "imgproc/image_ops.hpp"
 #include "imgproc/pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
@@ -127,6 +128,7 @@ void Inframe_encoder::refresh_video_stats(const img::Imagef& video_frame)
 
 img::Imagef Inframe_encoder::next_display_frame(const img::Imagef& video_frame)
 {
+    telemetry::Scoped_span span("encode.embed");
     const auto& g = config_.geometry;
     util::expects(video_frame.width() == g.screen_width
                       && video_frame.height() == g.screen_height,

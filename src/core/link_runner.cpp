@@ -26,6 +26,10 @@ Link_experiment_result run_link_experiment(const Link_experiment_config& config)
     const util::Parallel_scope parallel_scope(
         config.threads >= 0 ? config.threads : config.inframe.threads);
 
+    // Trace export for this run; inert when no trace_dir is configured or
+    // an outer session is already collecting.
+    telemetry::Session telemetry_session(config.telemetry);
+
     Decoder_params decoder_params = make_decoder_params(
         config.inframe, config.camera.sensor_width, config.camera.sensor_height);
     decoder_params.detector = config.detector;
@@ -205,6 +209,8 @@ hvs::Panel_result run_flicker_experiment(const Flicker_experiment_config& config
 
     const util::Parallel_scope parallel_scope(
         config.threads >= 0 ? config.threads : config.inframe.threads);
+
+    telemetry::Session telemetry_session(config.telemetry);
 
     const auto total_display_frames =
         static_cast<std::int64_t>(std::llround(config.duration_s * config.inframe.display_fps));

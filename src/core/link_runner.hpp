@@ -15,6 +15,7 @@
 #include "core/pipeline.hpp"
 #include "core/stages.hpp"
 #include "hvs/flicker.hpp"
+#include "telemetry/telemetry.hpp"
 #include "video/playback.hpp"
 
 #include <functional>
@@ -66,6 +67,13 @@ struct Link_experiment_config {
     // >1 overlaps stages across display frames (one thread per stage,
     // bounded queues). Output is bit-identical for every value.
     int frames_in_flight = 1;
+
+    // Telemetry export: a non-empty trace_dir wraps the run in a
+    // telemetry::Session writing trace.json / frames.jsonl /
+    // metrics.json there. Purely observational — results are
+    // bit-identical with tracing on or off. Ignored (the outer scope
+    // wins) when a session is already active.
+    telemetry::Config telemetry;
 };
 
 struct Link_experiment_result {
@@ -118,6 +126,9 @@ struct Flicker_experiment_config {
 
     // Same contract as Link_experiment_config::frames_in_flight.
     int frames_in_flight = 1;
+
+    // Same contract as Link_experiment_config::telemetry.
+    telemetry::Config telemetry;
 
     // Optional replacement for the InFrame encoder: maps (video frame,
     // display index) to the displayed frame. Used by the Fig. 3 naive

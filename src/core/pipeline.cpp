@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "imgproc/pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/contract.hpp"
 #include "util/spsc_queue.hpp"
 
@@ -76,7 +77,11 @@ Pipeline_metrics Pipeline::run_serial(std::int64_t head_tokens, const Pipeline_o
         Stage_metrics& sm = metrics.stages[s];
         ++sm.tokens_in;
         const Clock::time_point t0 = Clock::now();
-        std::vector<Frame_token> outputs = stages_[s]->push(std::move(token));
+        std::vector<Frame_token> outputs;
+        {
+            telemetry::Scoped_span span(stages_[s]->name());
+            outputs = stages_[s]->push(std::move(token));
+        }
         sm.wall_s += seconds_since(t0);
         sm.tokens_out += static_cast<std::int64_t>(outputs.size());
         for (Frame_token& out : outputs) feed(s + 1, std::move(out));
@@ -93,7 +98,11 @@ Pipeline_metrics Pipeline::run_serial(std::int64_t head_tokens, const Pipeline_o
     for (std::size_t s = 0; s < n; ++s) {
         Stage_metrics& sm = metrics.stages[s];
         const Clock::time_point t0 = Clock::now();
-        std::vector<Frame_token> outputs = stages_[s]->flush();
+        std::vector<Frame_token> outputs;
+        {
+            telemetry::Scoped_span span(stages_[s]->name());
+            outputs = stages_[s]->flush();
+        }
         sm.wall_s += seconds_since(t0);
         sm.tokens_out += static_cast<std::int64_t>(outputs.size());
         for (Frame_token& out : outputs) feed(s + 1, std::move(out));
@@ -158,7 +167,11 @@ Pipeline_metrics Pipeline::run_overlapped(std::int64_t head_tokens, const Pipeli
                     Frame_token token;
                     token.index = i;
                     const Clock::time_point t0 = Clock::now();
-                    std::vector<Frame_token> outputs = stage.push(std::move(token));
+                    std::vector<Frame_token> outputs;
+                    {
+                        telemetry::Scoped_span span(stage.name());
+                        outputs = stage.push(std::move(token));
+                    }
                     sm.wall_s += seconds_since(t0);
                     ++sm.tokens_in;
                     ++metrics.head_tokens;
@@ -171,7 +184,11 @@ Pipeline_metrics Pipeline::run_overlapped(std::int64_t head_tokens, const Pipeli
                 while (std::optional<Frame_token> token = in->pop()) {
                     ++sm.tokens_in;
                     const Clock::time_point t0 = Clock::now();
-                    std::vector<Frame_token> outputs = stage.push(std::move(*token));
+                    std::vector<Frame_token> outputs;
+                    {
+                        telemetry::Scoped_span span(stage.name());
+                        outputs = stage.push(std::move(*token));
+                    }
                     sm.wall_s += seconds_since(t0);
                     if (!emit(std::move(outputs))) {
                         downstream_alive = false;
@@ -182,7 +199,11 @@ Pipeline_metrics Pipeline::run_overlapped(std::int64_t head_tokens, const Pipeli
 
             if (downstream_alive) {
                 const Clock::time_point t0 = Clock::now();
-                std::vector<Frame_token> outputs = stage.flush();
+                std::vector<Frame_token> outputs;
+                {
+                    telemetry::Scoped_span span(stage.name());
+                    outputs = stage.flush();
+                }
                 sm.wall_s += seconds_since(t0);
                 emit(std::move(outputs));
             }

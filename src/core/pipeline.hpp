@@ -87,14 +87,21 @@ private:
 };
 
 // Per-stage observability, harvested after a run.
+//
+// The queue-derived fields only exist where a queue exists, i.e. in
+// overlapped mode: serial execution has no edges (all three absent), the
+// head stage has no input queue (depth and input_waits absent) and the
+// sink has no output queue (output_waits absent). Absent values are
+// reported as the sentinel -1, never as a misleadingly quiet 0 —
+// consumers must check `>= 0` before aggregating.
 struct Stage_metrics {
     std::string name;
     double wall_s = 0.0;              // time spent inside push()/flush()
     std::int64_t tokens_in = 0;
     std::int64_t tokens_out = 0;
-    double mean_input_queue_depth = 0.0;  // occupancy seen at pop (overlap mode)
-    std::int64_t input_waits = 0;     // pops that blocked (upstream was slower)
-    std::int64_t output_waits = 0;    // pushes that blocked (downstream was slower)
+    double mean_input_queue_depth = -1.0;  // occupancy seen at pop; -1 = no input queue
+    std::int64_t input_waits = -1;    // pops that blocked; -1 = no input queue
+    std::int64_t output_waits = -1;   // pushes that blocked; -1 = no output queue
 };
 
 struct Pipeline_metrics {

@@ -1,5 +1,6 @@
 #include "core/sync.hpp"
 
+#include "telemetry/telemetry.hpp"
 #include "util/contract.hpp"
 #include "util/stats.hpp"
 
@@ -78,6 +79,7 @@ std::optional<double> Phase_estimator::estimated_offset() const
         return std::nullopt;
     }
 
+    telemetry::Scoped_span span("sync.estimate");
     double best_score = -1e9;
     double best_offset = 0.0;
     for (int c = 0; c < sync_params_.candidates; ++c) {
@@ -91,8 +93,17 @@ std::optional<double> Phase_estimator::estimated_offset() const
     }
 
     lock_score_ = best_score;
-    if (best_score < sync_params_.min_lock_score) return std::nullopt;
+    static const int score_metric =
+        telemetry::intern_metric("sync.lock_score", telemetry::Metric_kind::gauge);
+    telemetry::gauge_set(score_metric, best_score);
+    if (best_score < sync_params_.min_lock_score) {
+        telemetry::emit_event({"sync", "search", static_cast<std::int64_t>(observations_.size()),
+                               best_score});
+        return std::nullopt;
+    }
     cached_offset_ = best_offset;
+    telemetry::emit_event({"sync", "lock", static_cast<std::int64_t>(observations_.size()),
+                           best_offset});
     return cached_offset_;
 }
 
@@ -111,6 +122,7 @@ std::vector<Data_frame_result> Synced_decoder::push_capture(const img::Imagef& c
         offset_ = estimator_.estimated_offset();
         if (!offset_) return results;
         decoder_.emplace(params_);
+        decoder_->set_sync_context(1, *offset_);
         // Replay buffered captures with corrected timestamps. Captures
         // earlier than the offset fall before the first complete frame
         // and are dropped.

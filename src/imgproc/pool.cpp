@@ -1,5 +1,7 @@
 #include "imgproc/pool.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 
 namespace inframe::img {
@@ -16,6 +18,7 @@ Imagef Frame_pool::acquire(int width, int height, int channels)
                                * static_cast<std::size_t>(height)
                                * static_cast<std::size_t>(channels);
     std::vector<float> storage;
+    bool reused = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         // Best-fitting buffer that already has enough capacity; a smaller
@@ -32,10 +35,14 @@ Imagef Frame_pool::acquire(int width, int height, int channels)
             free_[best] = std::move(free_.back());
             free_.pop_back();
             ++reuses_;
+            reused = true;
         } else {
             ++misses_;
         }
     }
+    static const int hit_metric = telemetry::intern_metric("pool.hit", telemetry::Metric_kind::counter);
+    static const int miss_metric = telemetry::intern_metric("pool.miss", telemetry::Metric_kind::counter);
+    telemetry::counter_add(reused ? hit_metric : miss_metric);
     return Imagef(width, height, channels, std::move(storage));
 }
 

@@ -42,6 +42,7 @@
 #include "imgproc/draw.hpp"
 #include "imgproc/io.hpp"
 #include "imgproc/metrics.hpp"
+#include "telemetry/telemetry.hpp" // Registry, Scoped_span, Session (--trace)
 #include "util/prng.hpp"
 #include "util/bitstream.hpp"
 #include "util/crc32.hpp"

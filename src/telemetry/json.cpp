@@ -1,0 +1,283 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace inframe::telemetry::json {
+
+namespace {
+
+const Value& null_value()
+{
+    static const Value v;
+    return v;
+}
+
+const Array& empty_array()
+{
+    static const Array a;
+    return a;
+}
+
+const Object& empty_object()
+{
+    static const Object o;
+    return o;
+}
+
+struct Parser {
+    const std::string& text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string& message)
+    {
+        std::ostringstream os;
+        os << message << " at offset " << pos;
+        error = os.str();
+        return false;
+    }
+
+    void skip_ws()
+    {
+        while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool literal(const char* word, Value v, Value& out)
+    {
+        std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0) return fail("invalid literal");
+        pos += n;
+        out = std::move(v);
+        return true;
+    }
+
+    bool parse_string(std::string& out)
+    {
+        if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"') return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size()) return fail("unterminated escape");
+            char esc = text[pos++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos + 4 > text.size()) return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                    else return fail("bad hex digit in \\u escape");
+                }
+                // Encode as UTF-8 (BMP only; surrogate pairs unsupported).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parse_number(Value& out)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-') ++pos;
+        while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+            while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+        }
+        if (pos == start || (pos == start + 1 && text[start] == '-')) return fail("invalid number");
+        out = Value(std::strtod(text.c_str() + start, nullptr));
+        return true;
+    }
+
+    bool parse_value(Value& out, int depth)
+    {
+        if (depth > 64) return fail("nesting too deep");
+        skip_ws();
+        if (pos >= text.size()) return fail("unexpected end of input");
+        char c = text[pos];
+        switch (c) {
+        case 'n': return literal("null", Value(), out);
+        case 't': return literal("true", Value(true), out);
+        case 'f': return literal("false", Value(false), out);
+        case '"': {
+            std::string s;
+            if (!parse_string(s)) return false;
+            out = Value(std::move(s));
+            return true;
+        }
+        case '[': {
+            ++pos;
+            Array array;
+            skip_ws();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                out = Value(std::move(array));
+                return true;
+            }
+            while (true) {
+                Value element;
+                if (!parse_value(element, depth + 1)) return false;
+                array.push_back(std::move(element));
+                skip_ws();
+                if (pos >= text.size()) return fail("unterminated array");
+                if (text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (text[pos] == ']') {
+                    ++pos;
+                    out = Value(std::move(array));
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        case '{': {
+            ++pos;
+            Object object;
+            skip_ws();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                out = Value(std::move(object));
+                return true;
+            }
+            while (true) {
+                skip_ws();
+                std::string key;
+                if (!parse_string(key)) return false;
+                skip_ws();
+                if (pos >= text.size() || text[pos] != ':') return fail("expected ':'");
+                ++pos;
+                Value value;
+                if (!parse_value(value, depth + 1)) return false;
+                object.emplace(std::move(key), std::move(value));
+                skip_ws();
+                if (pos >= text.size()) return fail("unterminated object");
+                if (text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (text[pos] == '}') {
+                    ++pos;
+                    out = Value(std::move(object));
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        default: return parse_number(out);
+        }
+    }
+};
+
+} // namespace
+
+const Array& Value::as_array() const { return array_ ? *array_ : empty_array(); }
+const Object& Value::as_object() const { return object_ ? *object_ : empty_object(); }
+
+const Value& Value::operator[](const std::string& key) const
+{
+    if (!is_object()) return null_value();
+    auto it = object_->find(key);
+    return it == object_->end() ? null_value() : it->second;
+}
+
+bool Value::has(const std::string& key) const
+{
+    return is_object() && object_->count(key) > 0;
+}
+
+double Value::number_or(const std::string& key, double fallback) const
+{
+    const Value& v = (*this)[key];
+    return v.is_number() ? v.as_number() : fallback;
+}
+
+std::string Value::string_or(const std::string& key, const std::string& fallback) const
+{
+    const Value& v = (*this)[key];
+    return v.is_string() ? v.as_string() : fallback;
+}
+
+bool parse(const std::string& text, Value& out, std::string* error)
+{
+    Parser parser{text, 0, {}};
+    if (!parser.parse_value(out, 0)) {
+        if (error) *error = parser.error;
+        return false;
+    }
+    parser.skip_ws();
+    if (parser.pos != text.size()) {
+        if (error) *error = "trailing characters after document";
+        return false;
+    }
+    return true;
+}
+
+bool parse_lines(const std::string& text, std::vector<Value>& out, std::string* error)
+{
+    std::size_t line_start = 0;
+    int line_number = 0;
+    while (line_start <= text.size()) {
+        std::size_t line_end = text.find('\n', line_start);
+        if (line_end == std::string::npos) line_end = text.size();
+        ++line_number;
+        std::string line = text.substr(line_start, line_end - line_start);
+        line_start = line_end + 1;
+        bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
+        if (!blank) {
+            Value value;
+            std::string line_error;
+            if (!parse(line, value, &line_error)) {
+                if (error) {
+                    std::ostringstream os;
+                    os << "line " << line_number << ": " << line_error;
+                    *error = os.str();
+                }
+                return false;
+            }
+            out.push_back(std::move(value));
+        }
+        if (line_end == text.size()) break;
+    }
+    return true;
+}
+
+} // namespace inframe::telemetry::json

@@ -1,0 +1,69 @@
+// Minimal recursive-descent JSON reader: just enough to load the files
+// telemetry itself writes (trace.json, frames.jsonl, metrics.json) back
+// into telemetry_report and the smoke tests. Not a general-purpose
+// parser — no streaming, no \uXXXX surrogate pairs beyond Latin-1, and
+// the whole document lives in memory.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace inframe::telemetry::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+enum class Type { null, boolean, number, string, array, object };
+
+class Value {
+public:
+    Value() = default;
+    explicit Value(bool b) : type_(Type::boolean), bool_(b) {}
+    explicit Value(double d) : type_(Type::number), number_(d) {}
+    explicit Value(std::string s) : type_(Type::string), string_(std::move(s)) {}
+    explicit Value(Array a) : type_(Type::array), array_(std::make_shared<Array>(std::move(a))) {}
+    explicit Value(Object o) : type_(Type::object), object_(std::make_shared<Object>(std::move(o))) {}
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::null; }
+    bool is_number() const { return type_ == Type::number; }
+    bool is_string() const { return type_ == Type::string; }
+    bool is_array() const { return type_ == Type::array; }
+    bool is_object() const { return type_ == Type::object; }
+
+    bool as_bool() const { return bool_; }
+    double as_number() const { return number_; }
+    const std::string& as_string() const { return string_; }
+    const Array& as_array() const;
+    const Object& as_object() const;
+
+    // Object member access; returns a shared null Value when absent or
+    // when this value is not an object.
+    const Value& operator[](const std::string& key) const;
+    bool has(const std::string& key) const;
+
+    // Convenience: member as number/string with a default.
+    double number_or(const std::string& key, double fallback) const;
+    std::string string_or(const std::string& key, const std::string& fallback) const;
+
+private:
+    Type type_ = Type::null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::shared_ptr<Array> array_;
+    std::shared_ptr<Object> object_;
+};
+
+// Parses one JSON document. Returns false (and fills `error` with a
+// message + offset) on malformed input, including trailing garbage.
+bool parse(const std::string& text, Value& out, std::string* error = nullptr);
+
+// Parses one JSON value per non-empty line (JSONL). Stops at the first
+// malformed line and reports its line number in `error`.
+bool parse_lines(const std::string& text, std::vector<Value>& out, std::string* error = nullptr);
+
+} // namespace inframe::telemetry::json

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include "telemetry/telemetry.hpp"
 #include "util/contract.hpp"
 
 #include <atomic>
@@ -75,6 +76,9 @@ void Thread_pool::worker_loop()
 
 void Thread_pool::run_chunks(Job& job)
 {
+    // One span per participation in a job (not per chunk — chunks are too
+    // fine to trace without distorting the timings being measured).
+    telemetry::Scoped_span span("pool.batch");
     for (;;) {
         const std::int64_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
         if (chunk >= job.chunk_count) return;

@@ -207,6 +207,94 @@ TEST(Pipeline, MetricsCountTokensPerStage)
     EXPECT_EQ(metrics.stages[1].tokens_in, 5);
 }
 
+TEST(Pipeline, QueueMetricsUseSentinelsWhereNoQueueExists)
+{
+    // Stage_metrics queue fields are -1 wherever no queue exists: serial
+    // mode has no queues at all; in overlapped mode the head has no input
+    // queue and the sink has no output queue. Consumers gate on >= 0.
+    auto make = [](Pipeline& pipeline) {
+        for (const char* name : {"head", "middle", "sink"}) {
+            pipeline.emplace_stage<Function_stage>(name, [](Frame_token token) {
+                std::vector<Frame_token> out;
+                out.push_back(std::move(token));
+                return out;
+            });
+        }
+    };
+
+    {
+        Pipeline pipeline;
+        make(pipeline);
+        const auto metrics = pipeline.run(8);
+        ASSERT_EQ(metrics.stages.size(), 3u);
+        for (const auto& stage : metrics.stages) {
+            EXPECT_EQ(stage.mean_input_queue_depth, -1.0) << stage.name << " (serial)";
+            EXPECT_EQ(stage.input_waits, -1) << stage.name << " (serial)";
+            EXPECT_EQ(stage.output_waits, -1) << stage.name << " (serial)";
+        }
+    }
+
+    {
+        Pipeline pipeline;
+        make(pipeline);
+        Pipeline_options options;
+        options.frames_in_flight = 4;
+        const auto metrics = pipeline.run(8, options);
+        ASSERT_EQ(metrics.stages.size(), 3u);
+        const auto& head = metrics.stages[0];
+        const auto& middle = metrics.stages[1];
+        const auto& sink = metrics.stages[2];
+        EXPECT_EQ(head.mean_input_queue_depth, -1.0);
+        EXPECT_EQ(head.input_waits, -1);
+        EXPECT_GE(head.output_waits, 0);
+        EXPECT_GE(middle.mean_input_queue_depth, 0.0);
+        EXPECT_GE(middle.input_waits, 0);
+        EXPECT_GE(middle.output_waits, 0);
+        EXPECT_GE(sink.mean_input_queue_depth, 0.0);
+        EXPECT_GE(sink.input_waits, 0);
+        EXPECT_EQ(sink.output_waits, -1);
+    }
+}
+
+TEST(Pipeline, TokenAccountingConsistentUnderEarlyStop)
+{
+    // stop_when cuts the schedule short at an arbitrary point; the metrics
+    // must still balance: the head stage consumed exactly head_tokens, and
+    // every downstream stage consumed exactly what its upstream emitted —
+    // in both execution modes, at several stop points.
+    for (const int fif : {1, 4}) {
+        for (const int stop_at : {1, 5, 17}) {
+            Pipeline pipeline;
+            for (const char* name : {"head", "middle", "sink"}) {
+                pipeline.emplace_stage<Function_stage>(name, [](Frame_token token) {
+                    std::vector<Frame_token> out;
+                    out.push_back(std::move(token));
+                    return out;
+                });
+            }
+            int polls = 0;
+            Pipeline_options options;
+            options.frames_in_flight = fif;
+            options.stop_when = [&polls, stop_at] { return ++polls > stop_at; };
+            const auto metrics = pipeline.run(1000, options);
+            const std::string label =
+                "fif=" + std::to_string(fif) + " stop=" + std::to_string(stop_at);
+            ASSERT_EQ(metrics.stages.size(), 3u) << label;
+            EXPECT_GT(metrics.head_tokens, 0) << label;
+            EXPECT_LT(metrics.head_tokens, 1000) << label;
+            EXPECT_EQ(metrics.stages[0].tokens_in, metrics.head_tokens) << label;
+            for (std::size_t i = 0; i + 1 < metrics.stages.size(); ++i) {
+                EXPECT_EQ(metrics.stages[i].tokens_out, metrics.stages[i].tokens_in)
+                    << label << " stage " << metrics.stages[i].name;
+                EXPECT_EQ(metrics.stages[i + 1].tokens_in, metrics.stages[i].tokens_out)
+                    << label << " edge " << i;
+            }
+            EXPECT_GE(metrics.pool_hits, 0) << label;
+            EXPECT_GE(metrics.pool_misses, 0) << label;
+        }
+    }
+}
+
 // --- lazy payload source ------------------------------------------------
 
 TEST(Pipeline, LazyPayloadSourceMatchesUpfrontQueueing)
