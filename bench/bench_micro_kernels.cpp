@@ -8,6 +8,8 @@
 // what the stage-graph runtime executes; the pure image/coding kernels
 // below them have no stage wrapper.
 
+#include "bench_common.hpp"
+
 #include "coding/reed_solomon.hpp"
 #include "core/decoder.hpp"
 #include "core/pipeline.hpp"
@@ -17,10 +19,17 @@
 #include "imgproc/filter.hpp"
 #include "imgproc/pool.hpp"
 #include "imgproc/resize.hpp"
+#include "simd/simd.hpp"
+#include "util/csv.hpp"
 #include "util/prng.hpp"
 #include "video/playback.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <vector>
 
 namespace {
 
@@ -203,6 +212,173 @@ void bm_sunrise_frame(benchmark::State& state)
 }
 BENCHMARK(bm_sunrise_frame)->Unit(benchmark::kMillisecond);
 
+// --- scalar-vs-SIMD speedup table -------------------------------------------
+// Times each dispatched kernel at every level the host supports, against
+// the honest scalar reference (kernels_scalar.cpp is built with the
+// compiler's auto-vectorizer off). Buffers are sized to stay cache
+// resident so this measures ALU throughput, not memory bandwidth.
+
+double seconds_per_call(const std::function<void()>& call)
+{
+    using Clock = std::chrono::steady_clock;
+    call();
+    call(); // warm caches and the branch predictor
+    constexpr int batch = 64;
+    double best = 1.0e300;
+    for (int rep = 0; rep < 7; ++rep) {
+        const auto t0 = Clock::now();
+        for (int i = 0; i < batch; ++i) call();
+        const double per_call =
+            std::chrono::duration<double>(Clock::now() - t0).count() / batch;
+        best = std::min(best, per_call);
+    }
+    return best;
+}
+
+void run_simd_speedup_table(const bench::Args& args)
+{
+    using simd::Kernels;
+    using simd::Level;
+
+    constexpr int n = 1 << 14; // 16k elements: 64 KiB of floats, L2-resident
+    util::Prng prng(17);
+    std::vector<float> fa(n);
+    std::vector<float> fb(n);
+    std::vector<float> fout(n);
+    std::vector<double> dacc(n);
+    std::vector<std::uint8_t> ua(n);
+    std::vector<std::uint8_t> ub(n);
+    std::vector<std::uint8_t> uout(n);
+    std::vector<std::uint32_t> mask(n);
+    for (int i = 0; i < n; ++i) {
+        fa[static_cast<std::size_t>(i)] = static_cast<float>(prng.next_double(0, 255));
+        fb[static_cast<std::size_t>(i)] = static_cast<float>(prng.next_double(0, 255));
+        dacc[static_cast<std::size_t>(i)] = prng.next_double(0, 1.0e6);
+        ua[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(prng.next_int(0, 255));
+        ub[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(prng.next_int(0, 255));
+        mask[static_cast<std::size_t>(i)] = (i & 1) ? ~std::uint32_t{0} : 0u;
+    }
+
+    // box_blur_h: 8 interleaved-style streams over a 1-channel row.
+    constexpr int blur_width = 1920;
+    constexpr int blur_lanes = 8;
+    std::vector<std::vector<float>> blur_src(blur_lanes, std::vector<float>(blur_width));
+    std::vector<std::vector<float>> blur_dst(blur_lanes, std::vector<float>(blur_width));
+    std::vector<const float*> blur_in(blur_lanes);
+    std::vector<float*> blur_out(blur_lanes);
+    for (int lane = 0; lane < blur_lanes; ++lane) {
+        const auto s = static_cast<std::size_t>(lane);
+        for (auto& v : blur_src[s]) v = static_cast<float>(prng.next_double(0, 255));
+        blur_in[s] = blur_src[s].data();
+        blur_out[s] = blur_dst[s].data();
+    }
+
+    // bilinear_row: downscale-style sampling plan over a 1920-wide row.
+    std::vector<std::int32_t> idx0(n);
+    std::vector<std::int32_t> idx1(n);
+    std::vector<float> tx(n);
+    for (int i = 0; i < n; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        idx0[s] = static_cast<std::int32_t>(prng.next_int(0, blur_width - 2));
+        idx1[s] = idx0[s] + 1;
+        tx[s] = static_cast<float>(prng.next_double(0.0, 1.0));
+    }
+
+    struct Kernel_case {
+        const char* name;
+        std::function<void(const Kernels&)> call;
+    };
+    const std::vector<Kernel_case> cases = {
+        {"masked_add_f32", [&](const Kernels& k) {
+             k.masked_add_f32(fout.data(), mask.data(), n, 1.5f);
+         }},
+        {"add_f32", [&](const Kernels& k) { k.add_f32(fa.data(), fb.data(), fout.data(), n); }},
+        {"absdiff_f32",
+         [&](const Kernels& k) { k.absdiff_f32(fa.data(), fb.data(), fout.data(), n); }},
+        {"quantize_u8", [&](const Kernels& k) { k.quantize_u8(fa.data(), uout.data(), n); }},
+        {"add_sat_u8",
+         [&](const Kernels& k) { k.add_sat_u8(ua.data(), ub.data(), uout.data(), n); }},
+        {"residual_energy_u8",
+         [&](const Kernels& k) {
+             benchmark::DoNotOptimize(k.residual_energy_u8(ua.data(), ub.data(), n));
+         }},
+        {"row_sum_f64",
+         [&](const Kernels& k) { benchmark::DoNotOptimize(k.row_sum_f64(fa.data(), n)); }},
+        {"vblur_update",
+         [&](const Kernels& k) { k.vblur_update(dacc.data(), fa.data(), fb.data(), n); }},
+        {"box_blur_h", [&](const Kernels& k) {
+             k.box_blur_h(blur_in.data(), blur_out.data(), blur_lanes, blur_width, 1, 3);
+         }},
+        {"bilinear_row", [&](const Kernels& k) {
+             k.bilinear_row(blur_src[0].data(), blur_src[1].data(), idx0.data(), idx1.data(),
+                            tx.data(), 0.375f, fout.data(), n);
+         }},
+    };
+
+    // Record the auto-detected level as a gauge so a --trace run's
+    // telemetry_report shows what the numbers below were produced with.
+    static const int simd_gauge =
+        telemetry::intern_metric("simd.dispatch_level", telemetry::Metric_kind::gauge);
+    telemetry::gauge_set(simd_gauge, static_cast<double>(simd::active_level()));
+
+    bench::print_header(
+        "micro: scalar-vs-SIMD kernel speedups",
+        "runtime-dispatched kernels must be bit-identical at every level, so "
+        "the only difference a level makes is the time below");
+    std::printf("dispatch: best_supported=%s active=%s\n\n",
+                simd::to_string(simd::best_supported()),
+                simd::to_string(simd::active_level()));
+
+    util::Table table({"kernel", "level", "ns_per_call", "speedup_vs_scalar"});
+    const Kernels& scalar = simd::kernels_for(Level::scalar);
+    for (const auto& kernel_case : cases) {
+        const double scalar_s = seconds_per_call([&] { kernel_case.call(scalar); });
+        for (const Level level : simd::available_levels()) {
+            const Kernels& k = simd::kernels_for(level);
+            const double level_s = level == Level::scalar
+                                       ? scalar_s
+                                       : seconds_per_call([&] { kernel_case.call(k); });
+            table.add_row({kernel_case.name, simd::to_string(level),
+                           util::format_fixed(level_s * 1.0e9, 1),
+                           util::format_fixed(scalar_s / level_s, 2)});
+        }
+    }
+    bench::emit_table(args, "micro_simd_speedup", table);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared bench flags
+// (--csv/--smoke/--quick/--full/--trace) are stripped before
+// benchmark::Initialize sees the command line (google-benchmark aborts on
+// flags it does not know), the google-benchmark suites run as before, and
+// the scalar-vs-SIMD speedup table is appended to every run.
+int main(int argc, char** argv)
+{
+    const inframe::bench::Args args = inframe::bench::parse_args(argc, argv);
+
+    std::vector<char*> bench_argv;
+    for (int i = 0; i < argc; ++i) {
+        const bool flag_only = std::strcmp(argv[i], "--smoke") == 0
+                               || std::strcmp(argv[i], "--quick") == 0
+                               || std::strcmp(argv[i], "--full") == 0;
+        const bool flag_value = std::strcmp(argv[i], "--csv") == 0
+                                || std::strcmp(argv[i], "--trace") == 0;
+        if (flag_only) continue;
+        if (flag_value) {
+            ++i; // skip the value too
+            continue;
+        }
+        bench_argv.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(bench_argv.size());
+    bench_argv.push_back(nullptr);
+
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    run_simd_speedup_table(args);
+    return 0;
+}

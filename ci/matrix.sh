@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Build-and-test matrix: the release build at every SIMD dispatch level the
+# host supports, plus the sanitizer configurations from README.md. Each leg
+# is an independent build tree under build-matrix/ so legs can be re-run
+# individually:
+#
+#   ci/matrix.sh                 # all legs
+#   ci/matrix.sh release tsan    # just these legs
+#
+# Legs:
+#   release       Release build, full ctest suite at the auto-detected
+#                 SIMD level, then the tier-1 suites again with
+#                 INFRAME_SIMD=scalar — the scalar dispatch path must stay
+#                 green, not just parity-tested (a kernel whose vector
+#                 path works but whose scalar path rotted would otherwise
+#                 only fail on non-SIMD hosts).
+#   tsan          -DINFRAME_SANITIZE=thread,    unit+pipeline+simd labels
+#   asan          -DINFRAME_SANITIZE=address,   unit+pipeline+simd labels
+#   ubsan         -DINFRAME_SANITIZE=undefined, unit+pipeline+simd labels
+#
+# Every sanitizer leg also re-runs the simd label under INFRAME_SIMD=scalar:
+# the scalar reference kernels are exactly what the differential harness
+# trusts, so they get sanitizer coverage at both dispatch extremes.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+legs=("$@")
+if [ ${#legs[@]} -eq 0 ]; then
+    legs=(release tsan asan ubsan)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_leg() {
+    local name="$1"
+    local sanitize="$2"
+    local build="build-matrix/${name}"
+    echo "=== leg: ${name} (sanitize='${sanitize}') ==="
+    cmake -B "${build}" -S . -DCMAKE_BUILD_TYPE=Release \
+          -DINFRAME_SANITIZE="${sanitize}" >/dev/null
+    cmake --build "${build}" -j "${jobs}"
+    if [ "${name}" = release ]; then
+        ctest --test-dir "${build}" --output-on-failure -j "${jobs}"
+        echo "--- ${name}: tier-1 suites again with INFRAME_SIMD=scalar ---"
+        INFRAME_SIMD=scalar ctest --test-dir "${build}" --output-on-failure \
+            -j "${jobs}" -L 'unit|pipeline|simd|property|fault|telemetry'
+    else
+        ctest --test-dir "${build}" --output-on-failure -j "${jobs}" \
+            -L 'unit|pipeline|simd'
+        echo "--- ${name}: simd suite again with INFRAME_SIMD=scalar ---"
+        INFRAME_SIMD=scalar ctest --test-dir "${build}" --output-on-failure \
+            -j "${jobs}" -L simd
+    fi
+}
+
+for leg in "${legs[@]}"; do
+    case "${leg}" in
+    release) run_leg release "" ;;
+    tsan) run_leg tsan thread ;;
+    asan) run_leg asan address ;;
+    ubsan) run_leg ubsan undefined ;;
+    *)
+        echo "unknown leg '${leg}' (expected: release tsan asan ubsan)" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "=== matrix green: ${legs[*]} ==="

@@ -1,5 +1,10 @@
 #include "coding/chessboard.hpp"
 
+#include "simd/simd.hpp"
+
+#include <cstdint>
+#include <vector>
+
 namespace inframe::coding {
 
 void add_chessboard_block(img::Imagef& frame, const Code_geometry& geometry, int bx, int by,
@@ -11,19 +16,35 @@ void add_chessboard_block(img::Imagef& frame, const Code_geometry& geometry, int
     const Block_rect rect = geometry.block_rect(bx, by);
     const int p = geometry.pixel_size;
     const int channels = frame.channels();
-    for (int py = 0; py < geometry.block_pixels; ++py) {
+    const int row_values = rect.size * channels;
+
+    // The chessboard pattern has only two distinct pixel rows (Pixel row
+    // parity even/odd); precompute both as 0 / all-ones masks and let
+    // masked_add_f32 sweep whole image rows. The kernel's bitwise select
+    // leaves unset lanes untouched — identical to skipping them, so this
+    // matches the original per-cell loop bit for bit. Colour video: the
+    // same amplitude lands on every channel of a raised pixel, shifting
+    // luminance without altering chromaticity.
+    std::vector<std::uint32_t> mask(static_cast<std::size_t>(2 * row_values), 0);
+    for (int parity = 0; parity < 2; ++parity) {
+        std::uint32_t* m = mask.data() + static_cast<std::ptrdiff_t>(parity) * row_values;
         for (int px = 0; px < geometry.block_pixels; ++px) {
-            if (((px + py) & 1) == 0) continue; // paper: raised when i+j odd
-            const int x0 = rect.x0 + px * p;
-            const int y0 = rect.y0 + py * p;
-            for (int y = y0; y < y0 + p; ++y) {
-                for (int x = x0; x < x0 + p; ++x) {
-                    // Colour video: the same amplitude on every channel
-                    // shifts luminance without altering chromaticity.
-                    for (int c = 0; c < channels; ++c) frame(x, y, c) += delta;
+            if (((px + parity) & 1) == 0) continue; // paper: raised when i+j odd
+            for (int x = px * p; x < (px + 1) * p; ++x) {
+                for (int c = 0; c < channels; ++c) {
+                    m[static_cast<std::ptrdiff_t>(x) * channels + c] = ~std::uint32_t{0};
                 }
             }
         }
+    }
+
+    const auto& k = simd::kernels();
+    for (int y = rect.y0; y < rect.y0 + rect.size; ++y) {
+        const int py = (y - rect.y0) / p;
+        const std::uint32_t* m =
+            mask.data() + static_cast<std::ptrdiff_t>(py & 1) * row_values;
+        float* row = frame.row(y).data() + static_cast<std::ptrdiff_t>(rect.x0) * channels;
+        k.masked_add_f32(row, m, row_values, delta);
     }
 }
 

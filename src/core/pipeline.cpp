@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "imgproc/pool.hpp"
+#include "simd/simd.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/contract.hpp"
 #include "util/spsc_queue.hpp"
@@ -42,6 +43,14 @@ Pipeline_metrics Pipeline::run(std::int64_t head_tokens, Pipeline_options option
     util::expects(!stages_.empty(), "pipeline has no stages");
     util::expects(head_tokens >= 0, "head token count must be >= 0");
     if (options.frames_in_flight < 1) options.frames_in_flight = 1;
+
+    // Record which SIMD level the kernels below will run at; telemetry
+    // reports print gauges, so the dispatch decision shows up next to the
+    // stage timings it explains (Level enum value: 0=scalar 1=sse2 2=avx2
+    // 3=neon).
+    static const int simd_gauge =
+        telemetry::intern_metric("simd.dispatch_level", telemetry::Metric_kind::gauge);
+    telemetry::gauge_set(simd_gauge, static_cast<double>(simd::active_level()));
 
     const img::Frame_pool::Counters pool_before = img::Frame_pool::instance().counters();
     const Clock::time_point start = Clock::now();

@@ -1,8 +1,10 @@
 #include "imgproc/filter.hpp"
 
 #include "imgproc/pool.hpp"
+#include "simd/simd.hpp"
 #include "util/thread_pool.hpp"
 
+#include <array>
 #include <cmath>
 #include <vector>
 
@@ -14,22 +16,33 @@ namespace {
 // boundaries — and with them any per-chunk state — are deterministic.
 constexpr std::int64_t row_grain = 16;
 
-// Horizontal sliding-window box sum for one channel of one row.
-void box_blur_row(const float* src, float* dst, int width, int stride, int radius)
+// Horizontal box blur for a band of rows: every (row, channel) pair is an
+// independent sliding-window stream, so up to 8 of them ride in the vector
+// lanes of one box_blur_h call. Each lane replays the exact scalar
+// sequence (double window, float entering-leaving subtract, double add),
+// so output is identical for any lane grouping and any SIMD level.
+void box_blur_horizontal_band(const Imagef& src, Imagef& dst, int radius, int y_begin,
+                              int y_end)
 {
-    const float norm = 1.0f / static_cast<float>(2 * radius + 1);
-    double window = 0.0;
-    for (int i = -radius; i <= radius; ++i) {
-        const int x = std::clamp(i, 0, width - 1);
-        window += src[static_cast<std::ptrdiff_t>(x) * stride];
+    const auto& k = simd::kernels();
+    const int ch = src.channels();
+    constexpr int max_lanes = 8;
+    std::array<const float*, max_lanes> in{};
+    std::array<float*, max_lanes> out{};
+    int lanes = 0;
+    for (int y = y_begin; y < y_end; ++y) {
+        const float* in_row = src.row(y).data();
+        float* out_row = dst.row(y).data();
+        for (int c = 0; c < ch; ++c) {
+            in[static_cast<std::size_t>(lanes)] = in_row + c;
+            out[static_cast<std::size_t>(lanes)] = out_row + c;
+            if (++lanes == max_lanes) {
+                k.box_blur_h(in.data(), out.data(), lanes, src.width(), ch, radius);
+                lanes = 0;
+            }
+        }
     }
-    for (int x = 0; x < width; ++x) {
-        dst[static_cast<std::ptrdiff_t>(x) * stride] = static_cast<float>(window) * norm;
-        const int leaving = std::clamp(x - radius, 0, width - 1);
-        const int entering = std::clamp(x + radius + 1, 0, width - 1);
-        window += src[static_cast<std::ptrdiff_t>(entering) * stride]
-                  - src[static_cast<std::ptrdiff_t>(leaving) * stride];
-    }
+    if (lanes > 0) k.box_blur_h(in.data(), out.data(), lanes, src.width(), ch, radius);
 }
 
 // Vertical box blur over a band of output rows, accumulating whole rows at a
@@ -37,28 +50,26 @@ void box_blur_row(const float* src, float* dst, int width, int stride, int radiu
 // jumping width*channels floats per step as a column-by-column pass would.
 // The sliding window is a row of double sums, re-initialized at the band
 // start; band boundaries depend only on the grain, so every thread count
-// (including the serial path) produces identical output.
+// (including the serial path) produces identical output. The row-wide
+// accumulate/update/store loops run through the simd dispatch table; the
+// vector versions are elementwise and replicate the float-subtract-then-
+// double-add order exactly, so results match the pre-SIMD code bit for bit.
 void box_blur_vertical_band(const Imagef& src, Imagef& dst, int radius, int y_begin, int y_end)
 {
+    const auto& k = simd::kernels();
     const int height = src.height();
-    const std::size_t row_values = src.row(0).size();
+    const int row_values = static_cast<int>(src.row(0).size());
     const float norm = 1.0f / static_cast<float>(2 * radius + 1);
 
-    std::vector<double> window(row_values, 0.0);
-    for (int k = y_begin - radius; k <= y_begin + radius; ++k) {
-        const auto row = src.row(std::clamp(k, 0, height - 1));
-        for (std::size_t i = 0; i < row_values; ++i) window[i] += row[i];
+    std::vector<double> window(static_cast<std::size_t>(row_values), 0.0);
+    for (int j = y_begin - radius; j <= y_begin + radius; ++j) {
+        k.vblur_accum(window.data(), src.row(std::clamp(j, 0, height - 1)).data(), row_values);
     }
     for (int y = y_begin; y < y_end; ++y) {
-        auto out_row = dst.row(y);
-        for (std::size_t i = 0; i < row_values; ++i) {
-            out_row[i] = static_cast<float>(window[i]) * norm;
-        }
-        const auto leaving = src.row(std::clamp(y - radius, 0, height - 1));
-        const auto entering = src.row(std::clamp(y + radius + 1, 0, height - 1));
-        for (std::size_t i = 0; i < row_values; ++i) {
-            window[i] += entering[i] - leaving[i];
-        }
+        k.vblur_store(window.data(), dst.row(y).data(), row_values, norm);
+        const float* leaving = src.row(std::clamp(y - radius, 0, height - 1)).data();
+        const float* entering = src.row(std::clamp(y + radius + 1, 0, height - 1)).data();
+        k.vblur_update(window.data(), entering, leaving, row_values);
     }
 }
 
@@ -74,11 +85,8 @@ Imagef box_blur(const Imagef& src, int radius_x, int radius_y)
     if (radius_x > 0) {
         horizontal = Frame_pool::instance().acquire(src.width(), src.height(), ch);
         util::parallel_for(0, src.height(), row_grain, [&](std::int64_t y0, std::int64_t y1) {
-            for (std::int64_t y = y0; y < y1; ++y) {
-                const float* in = src.row(static_cast<int>(y)).data();
-                float* out = horizontal.row(static_cast<int>(y)).data();
-                for (int c = 0; c < ch; ++c) box_blur_row(in + c, out + c, src.width(), ch, radius_x);
-            }
+            box_blur_horizontal_band(src, horizontal, radius_x, static_cast<int>(y0),
+                                     static_cast<int>(y1));
         });
         if (radius_y == 0) return horizontal;
     }

@@ -1,6 +1,7 @@
 #include "imgproc/image_ops.hpp"
 
 #include "imgproc/pool.hpp"
+#include "simd/simd.hpp"
 #include "util/thread_pool.hpp"
 
 #include <cmath>
@@ -11,7 +12,10 @@ namespace {
 
 // Flat values per parallel chunk for elementwise ops. Each element is
 // computed independently, so any partition is bit-identical; the grain just
-// keeps chunk dispatch overhead negligible.
+// keeps chunk dispatch overhead negligible. The per-element work inside a
+// chunk goes through the simd dispatch table (bit-identical at every
+// level, see src/simd/simd.hpp), so partitioning and vectorization compose
+// without affecting results.
 constexpr std::int64_t value_grain = 1 << 15;
 
 } // namespace
@@ -21,12 +25,11 @@ Image8 to_u8(const Imagef& src)
     Image8 out(src.width(), src.height(), src.channels());
     const auto in = src.values();
     auto dst = out.values();
+    const auto& k = simd::kernels();
     util::parallel_for(0, static_cast<std::int64_t>(in.size()), value_grain,
                        [&](std::int64_t i0, std::int64_t i1) {
-                           for (std::int64_t i = i0; i < i1; ++i) {
-                               dst[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
-                                   std::clamp(std::lround(in[static_cast<std::size_t>(i)]), 0L, 255L));
-                           }
+                           k.quantize_u8(in.data() + i0, dst.data() + i0,
+                                         static_cast<int>(i1 - i0));
                        });
     return out;
 }
@@ -36,12 +39,11 @@ Imagef to_float(const Image8& src)
     Imagef out = Frame_pool::instance().acquire(src.width(), src.height(), src.channels());
     const auto in = src.values();
     auto dst = out.values();
+    const auto& k = simd::kernels();
     util::parallel_for(0, static_cast<std::int64_t>(in.size()), value_grain,
                        [&](std::int64_t i0, std::int64_t i1) {
-                           for (std::int64_t i = i0; i < i1; ++i) {
-                               dst[static_cast<std::size_t>(i)] =
-                                   static_cast<float>(in[static_cast<std::size_t>(i)]);
-                           }
+                           k.widen_u8(in.data() + i0, dst.data() + i0,
+                                      static_cast<int>(i1 - i0));
                        });
     return out;
 }
@@ -64,9 +66,9 @@ Imagef to_gray(const Imagef& src)
 
 namespace {
 
-// out[i] = op(a[i], b[i]) with the output frame drawn from the pool.
-template <typename Op>
-Imagef binary_elementwise(const Imagef& a, const Imagef& b, const char* what, Op op)
+// out[i] = kernel(a[i], b[i]) with the output frame drawn from the pool.
+Imagef binary_elementwise(const Imagef& a, const Imagef& b, const char* what,
+                          void (*kernel)(const float*, const float*, float*, int))
 {
     util::expects(a.same_shape(b), what);
     Imagef out = Frame_pool::instance().acquire(a.width(), a.height(), a.channels());
@@ -75,10 +77,26 @@ Imagef binary_elementwise(const Imagef& a, const Imagef& b, const char* what, Op
     const auto rhs = b.values();
     util::parallel_for(0, static_cast<std::int64_t>(dst.size()), value_grain,
                        [&](std::int64_t i0, std::int64_t i1) {
-                           for (std::int64_t i = i0; i < i1; ++i) {
-                               const auto s = static_cast<std::size_t>(i);
-                               dst[s] = op(lhs[s], rhs[s]);
-                           }
+                           kernel(lhs.data() + i0, rhs.data() + i0, dst.data() + i0,
+                                  static_cast<int>(i1 - i0));
+                       });
+    return out;
+}
+
+// Same shape-checked pattern for the uint8 saturating trio.
+Image8 binary_elementwise_u8(const Image8& a, const Image8& b, const char* what,
+                             void (*kernel)(const std::uint8_t*, const std::uint8_t*,
+                                            std::uint8_t*, int))
+{
+    util::expects(a.same_shape(b), what);
+    Image8 out(a.width(), a.height(), a.channels());
+    auto dst = out.values();
+    const auto lhs = a.values();
+    const auto rhs = b.values();
+    util::parallel_for(0, static_cast<std::int64_t>(dst.size()), value_grain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                           kernel(lhs.data() + i0, rhs.data() + i0, dst.data() + i0,
+                                  static_cast<int>(i1 - i0));
                        });
     return out;
 }
@@ -87,20 +105,35 @@ Imagef binary_elementwise(const Imagef& a, const Imagef& b, const char* what, Op
 
 Imagef add(const Imagef& a, const Imagef& b)
 {
-    return binary_elementwise(a, b, "add: shape mismatch",
-                              [](float x, float y) { return x + y; });
+    return binary_elementwise(a, b, "add: shape mismatch", simd::kernels().add_f32);
 }
 
 Imagef subtract(const Imagef& a, const Imagef& b)
 {
-    return binary_elementwise(a, b, "subtract: shape mismatch",
-                              [](float x, float y) { return x - y; });
+    return binary_elementwise(a, b, "subtract: shape mismatch", simd::kernels().sub_f32);
 }
 
 Imagef abs_diff(const Imagef& a, const Imagef& b)
 {
-    return binary_elementwise(a, b, "abs_diff: shape mismatch",
-                              [](float x, float y) { return std::fabs(x - y); });
+    return binary_elementwise(a, b, "abs_diff: shape mismatch", simd::kernels().absdiff_f32);
+}
+
+Image8 add_saturate(const Image8& a, const Image8& b)
+{
+    return binary_elementwise_u8(a, b, "add_saturate: shape mismatch",
+                                 simd::kernels().add_sat_u8);
+}
+
+Image8 subtract_saturate(const Image8& a, const Image8& b)
+{
+    return binary_elementwise_u8(a, b, "subtract_saturate: shape mismatch",
+                                 simd::kernels().sub_sat_u8);
+}
+
+Image8 abs_diff(const Image8& a, const Image8& b)
+{
+    return binary_elementwise_u8(a, b, "abs_diff: shape mismatch",
+                                 simd::kernels().absdiff_u8);
 }
 
 Imagef affine(const Imagef& a, float scale, float offset)
@@ -122,12 +155,10 @@ void clamp(Imagef& image, float lo, float hi)
 {
     util::expects(lo <= hi, "clamp: lo must not exceed hi");
     auto values = image.values();
+    const auto& k = simd::kernels();
     util::parallel_for(0, static_cast<std::int64_t>(values.size()), value_grain,
                        [&](std::int64_t i0, std::int64_t i1) {
-                           for (std::int64_t i = i0; i < i1; ++i) {
-                               auto& v = values[static_cast<std::size_t>(i)];
-                               v = std::clamp(v, lo, hi);
-                           }
+                           k.clamp_f32(values.data() + i0, static_cast<int>(i1 - i0), lo, hi);
                        });
 }
 
@@ -168,8 +199,19 @@ double mean_region(const Imagef& image, int x0, int y0, int w, int h, int c)
     util::expects(x0 >= 0 && y0 >= 0 && x0 + w <= image.width() && y0 + h <= image.height(),
                   "mean_region: region out of bounds");
     double sum = 0.0;
-    for (int y = y0; y < y0 + h; ++y) {
-        for (int x = x0; x < x0 + w; ++x) sum += image(x, y, c);
+    if (image.channels() == 1) {
+        // Contiguous rows: per-row reduction through the dispatch table.
+        // row_sum_f64 has a fixed 8-lane accumulation shape, so the result
+        // is identical at every SIMD level (and to the scalar reference).
+        const auto& k = simd::kernels();
+        for (int y = y0; y < y0 + h; ++y) {
+            sum += k.row_sum_f64(image.row(y).data() + x0, w);
+        }
+    }
+    else {
+        for (int y = y0; y < y0 + h; ++y) {
+            for (int x = x0; x < x0 + w; ++x) sum += image(x, y, c);
+        }
     }
     return sum / (static_cast<double>(w) * static_cast<double>(h));
 }

@@ -1,9 +1,12 @@
 #include "imgproc/resize.hpp"
 
 #include "imgproc/pool.hpp"
+#include "simd/simd.hpp"
 #include "util/thread_pool.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 namespace inframe::img {
 
@@ -11,6 +14,33 @@ namespace {
 
 // Rows per parallel chunk; fixed so partitioning is thread-count-invariant.
 constexpr std::int64_t row_grain = 16;
+
+// Per-output-column horizontal sampling plan for resize_bilinear: the
+// clamp/floor/fraction math of sample_bilinear precomputed once per resize
+// instead of once per (pixel, row). Indices are in pixel units (single
+// channel only).
+struct Bilinear_columns {
+    std::vector<std::int32_t> idx0;
+    std::vector<std::int32_t> idx1;
+    std::vector<float> tx;
+};
+
+Bilinear_columns plan_bilinear_columns(int src_w, int out_w, float sx)
+{
+    Bilinear_columns plan;
+    plan.idx0.resize(static_cast<std::size_t>(out_w));
+    plan.idx1.resize(static_cast<std::size_t>(out_w));
+    plan.tx.resize(static_cast<std::size_t>(out_w));
+    for (int x = 0; x < out_w; ++x) {
+        const float src_x = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+        const float fx = std::clamp(src_x, 0.0f, static_cast<float>(src_w - 1));
+        const int x0 = static_cast<int>(fx);
+        plan.idx0[static_cast<std::size_t>(x)] = x0;
+        plan.idx1[static_cast<std::size_t>(x)] = std::min(x0 + 1, src_w - 1);
+        plan.tx[static_cast<std::size_t>(x)] = fx - static_cast<float>(x0);
+    }
+    return plan;
+}
 
 } // namespace
 
@@ -35,6 +65,29 @@ Imagef resize_bilinear(const Imagef& src, int out_w, int out_h)
     Imagef out = Frame_pool::instance().acquire(out_w, out_h, src.channels());
     const float sx = static_cast<float>(src.width()) / static_cast<float>(out_w);
     const float sy = static_cast<float>(src.height()) / static_cast<float>(out_h);
+    if (src.channels() == 1) {
+        // Single-channel fast path: precompute the horizontal plan once and
+        // stream each output row through the bilinear_row kernel. The
+        // kernel's lerp order matches sample_bilinear exactly (mul/add, no
+        // FMA), so output is bit-identical to the generic path below.
+        const Bilinear_columns plan = plan_bilinear_columns(src.width(), out_w, sx);
+        const auto& k = simd::kernels();
+        util::parallel_for(0, out_h, row_grain, [&](std::int64_t y0, std::int64_t y1) {
+            for (std::int64_t yy = y0; yy < y1; ++yy) {
+                const int y = static_cast<int>(yy);
+                const float src_y = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+                const float fy =
+                    std::clamp(src_y, 0.0f, static_cast<float>(src.height() - 1));
+                const int sy0 = static_cast<int>(fy);
+                const int sy1 = std::min(sy0 + 1, src.height() - 1);
+                const float ty = fy - static_cast<float>(sy0);
+                k.bilinear_row(src.row(sy0).data(), src.row(sy1).data(), plan.idx0.data(),
+                               plan.idx1.data(), plan.tx.data(), ty, out.row(y).data(),
+                               out_w);
+            }
+        });
+        return out;
+    }
     util::parallel_for(0, out_h, row_grain, [&](std::int64_t y0, std::int64_t y1) {
         for (std::int64_t yy = y0; yy < y1; ++yy) {
             const int y = static_cast<int>(yy);

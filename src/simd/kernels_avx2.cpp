@@ -1,0 +1,320 @@
+// AVX2 kernels. Built on top of the SSE2 table: kernels re-implemented
+// here go 8 (float) / 32 (uint8) wide; everything else inherits the SSE2
+// version. Bit-identity arguments mirror kernels_sse2.cpp — wider vectors
+// change nothing about per-lane arithmetic, and row_sum_f64 keeps the same
+// fixed 8-lane accumulation shape (two 4-wide double accumulators).
+//
+// This file is compiled with -mavx2 (see src/simd/CMakeLists.txt) and its
+// functions are only reachable after a runtime CPUID check in dispatch.cpp.
+
+#include "simd/kernels_internal.hpp"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace inframe::simd {
+namespace avx2 {
+
+void add_f32(const float* a, const float* b, float* out, int n)
+{
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i,
+                         _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+    }
+    for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub_f32(const float* a, const float* b, float* out, int n)
+{
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(out + i,
+                         _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+    }
+    for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void absdiff_f32(const float* a, const float* b, float* out, int n)
+{
+    const __m256 sign = _mm256_set1_ps(-0.0f);
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+        _mm256_storeu_ps(out + i, _mm256_andnot_ps(sign, d));
+    }
+    for (; i < n; ++i) out[i] = std::fabs(a[i] - b[i]);
+}
+
+void clamp_f32(float* x, int n, float lo, float hi)
+{
+    const __m256 vlo = _mm256_set1_ps(lo);
+    const __m256 vhi = _mm256_set1_ps(hi);
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(x + i,
+                         _mm256_min_ps(_mm256_max_ps(_mm256_loadu_ps(x + i), vlo), vhi));
+    }
+    for (; i < n; ++i) x[i] = std::min(std::max(x[i], lo), hi);
+}
+
+void masked_add_f32(float* dst, const std::uint32_t* mask, int n, float delta)
+{
+    const __m256 vdelta = _mm256_set1_ps(delta);
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 x = _mm256_loadu_ps(dst + i);
+        const __m256 m = _mm256_castsi256_ps(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i)));
+        // blendv keeps unset lanes bit-for-bit untouched (no fp op on them).
+        _mm256_storeu_ps(dst + i, _mm256_blendv_ps(x, _mm256_add_ps(x, vdelta), m));
+    }
+    for (; i < n; ++i) {
+        if (mask[i]) dst[i] += delta;
+    }
+}
+
+void quantize_u8(const float* in, std::uint8_t* out, int n)
+{
+    const __m256 vlo = _mm256_setzero_ps();
+    const __m256 vhi = _mm256_set1_ps(255.0f);
+    const __m256d half = _mm256_set1_pd(0.5);
+    const __m128i zero = _mm_setzero_si128();
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 x = _mm256_min_ps(_mm256_max_ps(_mm256_loadu_ps(in + i), vlo), vhi);
+        const __m128i lo4 = _mm256_cvttpd_epi32(
+            _mm256_add_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(x)), half));
+        const __m128i hi4 = _mm256_cvttpd_epi32(
+            _mm256_add_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(x, 1)), half));
+        const __m128i words = _mm_packs_epi32(lo4, hi4);
+        _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i),
+                         _mm_packus_epi16(words, zero));
+    }
+    for (; i < n; ++i) {
+        const float v = std::min(std::max(in[i], 0.0f), 255.0f);
+        out[i] = static_cast<std::uint8_t>(std::lround(v));
+    }
+}
+
+void widen_u8(const std::uint8_t* in, float* out, int n)
+{
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i bytes = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + i));
+        _mm256_storeu_ps(out + i, _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes)));
+    }
+    for (; i < n; ++i) out[i] = static_cast<float>(in[i]);
+}
+
+void add_sat_u8(const std::uint8_t* a, const std::uint8_t* b, std::uint8_t* out, int n)
+{
+    int i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), _mm256_adds_epu8(va, vb));
+    }
+    if (i < n) scalar::add_sat_u8(a + i, b + i, out + i, n - i);
+}
+
+void sub_sat_u8(const std::uint8_t* a, const std::uint8_t* b, std::uint8_t* out, int n)
+{
+    int i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), _mm256_subs_epu8(va, vb));
+    }
+    if (i < n) scalar::sub_sat_u8(a + i, b + i, out + i, n - i);
+}
+
+void absdiff_u8(const std::uint8_t* a, const std::uint8_t* b, std::uint8_t* out, int n)
+{
+    int i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(out + i),
+            _mm256_or_si256(_mm256_subs_epu8(va, vb), _mm256_subs_epu8(vb, va)));
+    }
+    if (i < n) scalar::absdiff_u8(a + i, b + i, out + i, n - i);
+}
+
+std::uint64_t residual_energy_u8(const std::uint8_t* a, const std::uint8_t* b, int n)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc64 = zero;
+    int i = 0;
+    while (i + 32 <= n) {
+        const int block_end = std::min(n, i + 4096 * 32);
+        __m256i acc32 = zero;
+        for (; i + 32 <= block_end; i += 32) {
+            const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+            const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+            const __m256i d =
+                _mm256_or_si256(_mm256_subs_epu8(va, vb), _mm256_subs_epu8(vb, va));
+            const __m256i dlo = _mm256_unpacklo_epi8(d, zero);
+            const __m256i dhi = _mm256_unpackhi_epi8(d, zero);
+            acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(dlo, dlo));
+            acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(dhi, dhi));
+        }
+        acc64 = _mm256_add_epi64(acc64, _mm256_unpacklo_epi32(acc32, zero));
+        acc64 = _mm256_add_epi64(acc64, _mm256_unpackhi_epi32(acc32, zero));
+    }
+    alignas(32) std::uint64_t parts[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(parts), acc64);
+    std::uint64_t sum = parts[0] + parts[1] + parts[2] + parts[3];
+    return sum + (i < n ? scalar::residual_energy_u8(a + i, b + i, n - i) : 0);
+}
+
+double row_sum_f64(const float* p, int n)
+{
+    // Lanes 0..3 in acc0, lanes 4..7 in acc1 — the reference 8-lane shape.
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 x = _mm256_loadu_ps(p + i);
+        acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(x)));
+        acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(x, 1)));
+    }
+    alignas(32) double lane[8];
+    _mm256_storeu_pd(lane, acc0);
+    _mm256_storeu_pd(lane + 4, acc1);
+    for (; i < n; ++i) lane[i & 7] += static_cast<double>(p[i]);
+    return ((lane[0] + lane[1]) + (lane[2] + lane[3]))
+           + ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+void vblur_accum(double* acc, const float* row, int n)
+{
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 x = _mm_loadu_ps(row + i);
+        _mm256_storeu_pd(acc + i,
+                         _mm256_add_pd(_mm256_loadu_pd(acc + i), _mm256_cvtps_pd(x)));
+    }
+    for (; i < n; ++i) acc[i] += static_cast<double>(row[i]);
+}
+
+void vblur_update(double* acc, const float* enter, const float* leave, int n)
+{
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 d = _mm_sub_ps(_mm_loadu_ps(enter + i), _mm_loadu_ps(leave + i));
+        _mm256_storeu_pd(acc + i,
+                         _mm256_add_pd(_mm256_loadu_pd(acc + i), _mm256_cvtps_pd(d)));
+    }
+    for (; i < n; ++i) acc[i] += static_cast<double>(enter[i] - leave[i]);
+}
+
+void vblur_store(const double* acc, float* out, int n, float norm)
+{
+    const __m128 vnorm = _mm_set1_ps(norm);
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 f = _mm256_cvtpd_ps(_mm256_loadu_pd(acc + i));
+        _mm_storeu_ps(out + i, _mm_mul_ps(f, vnorm));
+    }
+    for (; i < n; ++i) out[i] = static_cast<float>(acc[i]) * norm;
+}
+
+void box_blur_h(const float* const* src, float* const* dst, int lanes, int width, int stride,
+                int radius)
+{
+    const float norm = 1.0f / static_cast<float>(2 * radius + 1);
+    const __m256 vnorm = _mm256_set1_ps(norm);
+    int lane = 0;
+    for (; lane + 8 <= lanes; lane += 8) {
+        const float* const* in = src + lane;
+        float* const* out = dst + lane;
+        auto gather = [&](int x) {
+            const std::ptrdiff_t o = static_cast<std::ptrdiff_t>(x) * stride;
+            return _mm256_set_ps(in[7][o], in[6][o], in[5][o], in[4][o], in[3][o], in[2][o],
+                                 in[1][o], in[0][o]);
+        };
+        __m256d w03 = _mm256_setzero_pd();
+        __m256d w47 = _mm256_setzero_pd();
+        for (int i = -radius; i <= radius; ++i) {
+            const __m256 f = gather(std::clamp(i, 0, width - 1));
+            w03 = _mm256_add_pd(w03, _mm256_cvtps_pd(_mm256_castps256_ps128(f)));
+            w47 = _mm256_add_pd(w47, _mm256_cvtps_pd(_mm256_extractf128_ps(f, 1)));
+        }
+        alignas(32) float result[8];
+        for (int x = 0; x < width; ++x) {
+            const __m256 f = _mm256_set_m128(_mm256_cvtpd_ps(w47), _mm256_cvtpd_ps(w03));
+            _mm256_storeu_ps(result, _mm256_mul_ps(f, vnorm));
+            const std::ptrdiff_t o = static_cast<std::ptrdiff_t>(x) * stride;
+            for (int j = 0; j < 8; ++j) out[j][o] = result[j];
+            const __m256 d = _mm256_sub_ps(gather(std::clamp(x + radius + 1, 0, width - 1)),
+                                           gather(std::clamp(x - radius, 0, width - 1)));
+            w03 = _mm256_add_pd(w03, _mm256_cvtps_pd(_mm256_castps256_ps128(d)));
+            w47 = _mm256_add_pd(w47, _mm256_cvtps_pd(_mm256_extractf128_ps(d, 1)));
+        }
+    }
+    if (lane < lanes) {
+        // Remaining 1..7 streams: every level produces identical streams,
+        // so delegating the tail to the reference is safe.
+        scalar::box_blur_h(src + lane, dst + lane, lanes - lane, width, stride, radius);
+    }
+}
+
+void bilinear_row(const float* row0, const float* row1, const std::int32_t* idx0,
+                  const std::int32_t* idx1, const float* tx, float ty, float* out, int n)
+{
+    const __m256 one = _mm256_set1_ps(1.0f);
+    const __m256 vty = _mm256_set1_ps(ty);
+    const __m256 vomty = _mm256_sub_ps(one, vty);
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i vidx0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx0 + i));
+        const __m256i vidx1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx1 + i));
+        const __m256 t = _mm256_loadu_ps(tx + i);
+        const __m256 omt = _mm256_sub_ps(one, t);
+        const __m256 r00 = _mm256_i32gather_ps(row0, vidx0, 4);
+        const __m256 r01 = _mm256_i32gather_ps(row0, vidx1, 4);
+        const __m256 r10 = _mm256_i32gather_ps(row1, vidx0, 4);
+        const __m256 r11 = _mm256_i32gather_ps(row1, vidx1, 4);
+        const __m256 top = _mm256_add_ps(_mm256_mul_ps(r00, omt), _mm256_mul_ps(r01, t));
+        const __m256 bottom = _mm256_add_ps(_mm256_mul_ps(r10, omt), _mm256_mul_ps(r11, t));
+        _mm256_storeu_ps(out + i,
+                         _mm256_add_ps(_mm256_mul_ps(top, vomty), _mm256_mul_ps(bottom, vty)));
+    }
+    for (; i < n; ++i) {
+        const float t = tx[i];
+        const float top = row0[idx0[i]] * (1.0f - t) + row0[idx1[i]] * t;
+        const float bottom = row1[idx0[i]] * (1.0f - t) + row1[idx1[i]] * t;
+        out[i] = top * (1.0f - ty) + bottom * ty;
+    }
+}
+
+} // namespace avx2
+
+namespace detail {
+
+Kernels avx2_table(Kernels base)
+{
+#define INFRAME_SIMD_KERNEL(name, ret, args) base.name = avx2::name;
+#include "simd/kernel_list.def"
+#undef INFRAME_SIMD_KERNEL
+    return base;
+}
+
+} // namespace detail
+} // namespace inframe::simd
+
+#else // no AVX2 at compile time: level never offered, keep the base table.
+
+namespace inframe::simd::detail {
+Kernels avx2_table(Kernels base) { return base; }
+} // namespace inframe::simd::detail
+
+#endif

@@ -1,0 +1,31 @@
+// Internal glue between dispatch.cpp and the per-level kernel files.
+// Each level builds its table on top of the previous one (scalar -> sse2
+// -> avx2 on x86-64; scalar -> neon on aarch64), so a level that does not
+// re-implement a kernel inherits the best lower-level version.
+#pragma once
+
+#include "simd/simd.hpp"
+
+namespace inframe::simd {
+
+// The scalar reference implementations, visible to every level so vector
+// files can delegate lane/element tails to the exact reference code.
+namespace scalar {
+#define INFRAME_SIMD_KERNEL(name, ret, args) ret name args;
+#include "simd/kernel_list.def"
+#undef INFRAME_SIMD_KERNEL
+} // namespace scalar
+
+} // namespace inframe::simd
+
+namespace inframe::simd::detail {
+
+Kernels scalar_table();
+
+// Compiled on every platform; on a platform without the ISA they return
+// `base` unchanged (dispatch.cpp never selects the level there anyway).
+Kernels sse2_table(Kernels base);
+Kernels avx2_table(Kernels base);
+Kernels neon_table(Kernels base);
+
+} // namespace inframe::simd::detail

@@ -1,0 +1,233 @@
+// NEON kernels (aarch64). Built on top of the scalar table; the two
+// structurally complex kernels (box_blur_h, bilinear_row) inherit the
+// scalar version — NEON still covers every elementwise and reduction
+// kernel. Bit-identity arguments mirror kernels_sse2.cpp; quantize_u8
+// uses FCVTAS (vcvtaq_s32_f32, round-ties-away), which matches lround
+// directly for in-range values.
+
+#include "simd/kernels_internal.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace inframe::simd {
+namespace neon {
+
+void add_f32(const float* a, const float* b, float* out, int n)
+{
+    int i = 0;
+    for (; i + 4 <= n; i += 4) vst1q_f32(out + i, vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+    for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub_f32(const float* a, const float* b, float* out, int n)
+{
+    int i = 0;
+    for (; i + 4 <= n; i += 4) vst1q_f32(out + i, vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+    for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void absdiff_f32(const float* a, const float* b, float* out, int n)
+{
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        // |a-b| via subtract + abs (sign-bit clear): identical to
+        // fabsf(a[i]-b[i]). vabdq_f32 computes the same value for finite
+        // inputs but we keep the two-op form to mirror the reference.
+        vst1q_f32(out + i, vabsq_f32(vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i))));
+    }
+    for (; i < n; ++i) out[i] = std::fabs(a[i] - b[i]);
+}
+
+void clamp_f32(float* x, int n, float lo, float hi)
+{
+    const float32x4_t vlo = vdupq_n_f32(lo);
+    const float32x4_t vhi = vdupq_n_f32(hi);
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        vst1q_f32(x + i, vminq_f32(vmaxq_f32(vld1q_f32(x + i), vlo), vhi));
+    }
+    for (; i < n; ++i) x[i] = std::min(std::max(x[i], lo), hi);
+}
+
+void masked_add_f32(float* dst, const std::uint32_t* mask, int n, float delta)
+{
+    const float32x4_t vdelta = vdupq_n_f32(delta);
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t x = vld1q_f32(dst + i);
+        const uint32x4_t m = vld1q_u32(mask + i);
+        // Bitwise select keeps unset lanes untouched (no fp op on them).
+        vst1q_f32(dst + i, vbslq_f32(m, vaddq_f32(x, vdelta), x));
+    }
+    for (; i < n; ++i) {
+        if (mask[i]) dst[i] += delta;
+    }
+}
+
+void quantize_u8(const float* in, std::uint8_t* out, int n)
+{
+    const float32x4_t vlo = vdupq_n_f32(0.0f);
+    const float32x4_t vhi = vdupq_n_f32(255.0f);
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const float32x4_t x0 = vminq_f32(vmaxq_f32(vld1q_f32(in + i), vlo), vhi);
+        const float32x4_t x1 = vminq_f32(vmaxq_f32(vld1q_f32(in + i + 4), vlo), vhi);
+        const int32x4_t i0 = vcvtaq_s32_f32(x0); // round-ties-away == lround
+        const int32x4_t i1 = vcvtaq_s32_f32(x1);
+        const uint16x8_t words =
+            vcombine_u16(vqmovun_s32(i0), vqmovun_s32(i1));
+        vst1_u8(out + i, vqmovn_u16(words));
+    }
+    for (; i < n; ++i) {
+        const float v = std::min(std::max(in[i], 0.0f), 255.0f);
+        out[i] = static_cast<std::uint8_t>(std::lround(v));
+    }
+}
+
+void widen_u8(const std::uint8_t* in, float* out, int n)
+{
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const uint16x8_t w = vmovl_u8(vld1_u8(in + i));
+        vst1q_f32(out + i, vcvtq_f32_u32(vmovl_u16(vget_low_u16(w))));
+        vst1q_f32(out + i + 4, vcvtq_f32_u32(vmovl_u16(vget_high_u16(w))));
+    }
+    for (; i < n; ++i) out[i] = static_cast<float>(in[i]);
+}
+
+void add_sat_u8(const std::uint8_t* a, const std::uint8_t* b, std::uint8_t* out, int n)
+{
+    int i = 0;
+    for (; i + 16 <= n; i += 16) vst1q_u8(out + i, vqaddq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+    if (i < n) scalar::add_sat_u8(a + i, b + i, out + i, n - i);
+}
+
+void sub_sat_u8(const std::uint8_t* a, const std::uint8_t* b, std::uint8_t* out, int n)
+{
+    int i = 0;
+    for (; i + 16 <= n; i += 16) vst1q_u8(out + i, vqsubq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+    if (i < n) scalar::sub_sat_u8(a + i, b + i, out + i, n - i);
+}
+
+void absdiff_u8(const std::uint8_t* a, const std::uint8_t* b, std::uint8_t* out, int n)
+{
+    int i = 0;
+    for (; i + 16 <= n; i += 16) vst1q_u8(out + i, vabdq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+    if (i < n) scalar::absdiff_u8(a + i, b + i, out + i, n - i);
+}
+
+std::uint64_t residual_energy_u8(const std::uint8_t* a, const std::uint8_t* b, int n)
+{
+    uint64x2_t acc = vdupq_n_u64(0);
+    int i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8x16_t d = vabdq_u8(vld1q_u8(a + i), vld1q_u8(b + i));
+        const uint16x8_t dlo = vmovl_u8(vget_low_u8(d));
+        const uint16x8_t dhi = vmovl_u8(vget_high_u8(d));
+        uint32x4_t sq = vmull_u16(vget_low_u16(dlo), vget_low_u16(dlo));
+        sq = vmlal_u16(sq, vget_high_u16(dlo), vget_high_u16(dlo));
+        sq = vmlal_u16(sq, vget_low_u16(dhi), vget_low_u16(dhi));
+        sq = vmlal_u16(sq, vget_high_u16(dhi), vget_high_u16(dhi));
+        acc = vpadalq_u32(acc, sq);
+    }
+    std::uint64_t sum = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+    return sum + (i < n ? scalar::residual_energy_u8(a + i, b + i, n - i) : 0);
+}
+
+double row_sum_f64(const float* p, int n)
+{
+    // Four float64x2 accumulators hold the reference's 8 lanes in order.
+    float64x2_t acc01 = vdupq_n_f64(0.0);
+    float64x2_t acc23 = vdupq_n_f64(0.0);
+    float64x2_t acc45 = vdupq_n_f64(0.0);
+    float64x2_t acc67 = vdupq_n_f64(0.0);
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const float32x4_t lo = vld1q_f32(p + i);
+        const float32x4_t hi = vld1q_f32(p + i + 4);
+        acc01 = vaddq_f64(acc01, vcvt_f64_f32(vget_low_f32(lo)));
+        acc23 = vaddq_f64(acc23, vcvt_f64_f32(vget_high_f32(lo)));
+        acc45 = vaddq_f64(acc45, vcvt_f64_f32(vget_low_f32(hi)));
+        acc67 = vaddq_f64(acc67, vcvt_f64_f32(vget_high_f32(hi)));
+    }
+    double lane[8];
+    vst1q_f64(lane + 0, acc01);
+    vst1q_f64(lane + 2, acc23);
+    vst1q_f64(lane + 4, acc45);
+    vst1q_f64(lane + 6, acc67);
+    for (; i < n; ++i) lane[i & 7] += static_cast<double>(p[i]);
+    return ((lane[0] + lane[1]) + (lane[2] + lane[3]))
+           + ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+void vblur_accum(double* acc, const float* row, int n)
+{
+    int i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const float32x2_t x = vld1_f32(row + i);
+        vst1q_f64(acc + i, vaddq_f64(vld1q_f64(acc + i), vcvt_f64_f32(x)));
+    }
+    for (; i < n; ++i) acc[i] += static_cast<double>(row[i]);
+}
+
+void vblur_update(double* acc, const float* enter, const float* leave, int n)
+{
+    int i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const float32x2_t d = vsub_f32(vld1_f32(enter + i), vld1_f32(leave + i));
+        vst1q_f64(acc + i, vaddq_f64(vld1q_f64(acc + i), vcvt_f64_f32(d)));
+    }
+    for (; i < n; ++i) acc[i] += static_cast<double>(enter[i] - leave[i]);
+}
+
+void vblur_store(const double* acc, float* out, int n, float norm)
+{
+    const float32x2_t vnorm = vdup_n_f32(norm);
+    int i = 0;
+    for (; i + 2 <= n; i += 2) {
+        vst1_f32(out + i, vmul_f32(vcvt_f32_f64(vld1q_f64(acc + i)), vnorm));
+    }
+    for (; i < n; ++i) out[i] = static_cast<float>(acc[i]) * norm;
+}
+
+} // namespace neon
+
+namespace detail {
+
+Kernels neon_table(Kernels base)
+{
+    // Explicit partial assignment: box_blur_h and bilinear_row stay on the
+    // inherited (scalar) implementation.
+    base.add_f32 = neon::add_f32;
+    base.sub_f32 = neon::sub_f32;
+    base.absdiff_f32 = neon::absdiff_f32;
+    base.clamp_f32 = neon::clamp_f32;
+    base.masked_add_f32 = neon::masked_add_f32;
+    base.quantize_u8 = neon::quantize_u8;
+    base.widen_u8 = neon::widen_u8;
+    base.add_sat_u8 = neon::add_sat_u8;
+    base.sub_sat_u8 = neon::sub_sat_u8;
+    base.absdiff_u8 = neon::absdiff_u8;
+    base.residual_energy_u8 = neon::residual_energy_u8;
+    base.row_sum_f64 = neon::row_sum_f64;
+    base.vblur_accum = neon::vblur_accum;
+    base.vblur_update = neon::vblur_update;
+    base.vblur_store = neon::vblur_store;
+    return base;
+}
+
+} // namespace detail
+} // namespace inframe::simd
+
+#else // not aarch64: level never offered, keep the base table.
+
+namespace inframe::simd::detail {
+Kernels neon_table(Kernels base) { return base; }
+} // namespace inframe::simd::detail
+
+#endif

@@ -1,0 +1,165 @@
+// Scalar reference kernels: these DEFINE the semantics every vector level
+// must reproduce bit for bit. This file is compiled with auto-vectorization
+// disabled (see src/simd/CMakeLists.txt) so the "scalar" dispatch level —
+// and the baseline of the bench_micro_kernels speedup table — is a true
+// one-element-at-a-time reference rather than whatever the compiler's
+// vectorizer produces for the host it happens to build on.
+
+#include "simd/kernels_internal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace inframe::simd {
+namespace scalar {
+
+void add_f32(const float* a, const float* b, float* out, int n)
+{
+    for (int i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub_f32(const float* a, const float* b, float* out, int n)
+{
+    for (int i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void absdiff_f32(const float* a, const float* b, float* out, int n)
+{
+    for (int i = 0; i < n; ++i) out[i] = std::fabs(a[i] - b[i]);
+}
+
+void clamp_f32(float* x, int n, float lo, float hi)
+{
+    for (int i = 0; i < n; ++i) x[i] = std::min(std::max(x[i], lo), hi);
+}
+
+void masked_add_f32(float* dst, const std::uint32_t* mask, int n, float delta)
+{
+    for (int i = 0; i < n; ++i) {
+        if (mask[i]) dst[i] += delta;
+    }
+}
+
+void quantize_u8(const float* in, std::uint8_t* out, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        // Saturate before rounding: identical to clamp(lround(v), 0, 255)
+        // for every finite v (lround is monotonic) and it keeps lround's
+        // argument in-range, which the vector levels rely on too.
+        const float v = std::min(std::max(in[i], 0.0f), 255.0f);
+        out[i] = static_cast<std::uint8_t>(std::lround(v));
+    }
+}
+
+void widen_u8(const std::uint8_t* in, float* out, int n)
+{
+    for (int i = 0; i < n; ++i) out[i] = static_cast<float>(in[i]);
+}
+
+void add_sat_u8(const std::uint8_t* a, const std::uint8_t* b, std::uint8_t* out, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(std::min(int(a[i]) + int(b[i]), 255));
+    }
+}
+
+void sub_sat_u8(const std::uint8_t* a, const std::uint8_t* b, std::uint8_t* out, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(std::max(int(a[i]) - int(b[i]), 0));
+    }
+}
+
+void absdiff_u8(const std::uint8_t* a, const std::uint8_t* b, std::uint8_t* out, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        const int d = int(a[i]) - int(b[i]);
+        out[i] = static_cast<std::uint8_t>(d < 0 ? -d : d);
+    }
+}
+
+std::uint64_t residual_energy_u8(const std::uint8_t* a, const std::uint8_t* b, int n)
+{
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+        const int d = int(a[i]) - int(b[i]);
+        sum += static_cast<std::uint64_t>(d * d);
+    }
+    return sum;
+}
+
+double row_sum_f64(const float* p, int n)
+{
+    // Fixed 8-lane accumulation shape (see kernel_list.def): this IS the
+    // reference order, not an approximation of a sequential sum.
+    double lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < n; ++i) lane[i & 7] += static_cast<double>(p[i]);
+    return ((lane[0] + lane[1]) + (lane[2] + lane[3]))
+           + ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+void vblur_accum(double* acc, const float* row, int n)
+{
+    for (int i = 0; i < n; ++i) acc[i] += static_cast<double>(row[i]);
+}
+
+void vblur_update(double* acc, const float* enter, const float* leave, int n)
+{
+    // Float subtract first, then double add — the order box_blur has
+    // always used; the vector levels replicate it with cvtps_pd.
+    for (int i = 0; i < n; ++i) acc[i] += static_cast<double>(enter[i] - leave[i]);
+}
+
+void vblur_store(const double* acc, float* out, int n, float norm)
+{
+    for (int i = 0; i < n; ++i) out[i] = static_cast<float>(acc[i]) * norm;
+}
+
+void box_blur_h(const float* const* src, float* const* dst, int lanes, int width, int stride,
+                int radius)
+{
+    for (int lane = 0; lane < lanes; ++lane) {
+        const float* in = src[lane];
+        float* out = dst[lane];
+        double window = 0.0;
+        for (int i = -radius; i <= radius; ++i) {
+            const int x = std::clamp(i, 0, width - 1);
+            window += in[static_cast<std::ptrdiff_t>(x) * stride];
+        }
+        const float norm = 1.0f / static_cast<float>(2 * radius + 1);
+        for (int x = 0; x < width; ++x) {
+            out[static_cast<std::ptrdiff_t>(x) * stride] = static_cast<float>(window) * norm;
+            const int leaving = std::clamp(x - radius, 0, width - 1);
+            const int entering = std::clamp(x + radius + 1, 0, width - 1);
+            window += in[static_cast<std::ptrdiff_t>(entering) * stride]
+                      - in[static_cast<std::ptrdiff_t>(leaving) * stride];
+        }
+    }
+}
+
+void bilinear_row(const float* row0, const float* row1, const std::int32_t* idx0,
+                  const std::int32_t* idx1, const float* tx, float ty, float* out, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        const float t = tx[i];
+        const float top = row0[idx0[i]] * (1.0f - t) + row0[idx1[i]] * t;
+        const float bottom = row1[idx0[i]] * (1.0f - t) + row1[idx1[i]] * t;
+        out[i] = top * (1.0f - ty) + bottom * ty;
+    }
+}
+
+} // namespace scalar
+
+namespace detail {
+
+Kernels scalar_table()
+{
+    Kernels k;
+#define INFRAME_SIMD_KERNEL(name, ret, args) k.name = scalar::name;
+#include "simd/kernel_list.def"
+#undef INFRAME_SIMD_KERNEL
+    return k;
+}
+
+} // namespace detail
+} // namespace inframe::simd

@@ -1,0 +1,68 @@
+// Runtime-dispatched SIMD kernel layer.
+//
+// Every per-pixel hot path in the pipeline (chessboard embed, box blur,
+// per-block residual accumulation, elementwise image ops, bilinear
+// interpolation, uint8 quantization) funnels through the function-pointer
+// table below. A scalar reference implementation is always built; on
+// x86-64 the SSE2 and (hardware permitting) AVX2 tables are built too, on
+// aarch64 the NEON table. The active table is chosen once, at first use:
+//
+//   INFRAME_SIMD=scalar|sse2|avx2|neon   overrides auto-detection (a level
+//                                        the host cannot run clamps down
+//                                        to the best supported one)
+//
+// Determinism contract: every vector kernel is bit-identical to the
+// scalar reference for finite inputs (integer kernels exactly; float
+// kernels because they are elementwise or replicate the reference's fixed
+// accumulation shape — see kernel_list.def). Decoded payload bits are
+// therefore identical at every SIMD level, which
+// tests/core/test_parallel_determinism.cpp pins end to end and
+// tests/simd/test_kernel_parity.cpp pins kernel by kernel with a seeded
+// differential fuzzer. That harness is the acceptance gate for every new
+// kernel: a kernel added to kernel_list.def without a parity adapter
+// fails the build at configure time (tests/CMakeLists.txt guard).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace inframe::simd {
+
+enum class Level : int { scalar = 0, sse2 = 1, avx2 = 2, neon = 3 };
+
+const char* to_string(Level level);
+
+// Dispatch table: one function pointer per kernel in kernel_list.def.
+struct Kernels {
+#define INFRAME_SIMD_KERNEL(name, ret, args) ret(*name) args = nullptr;
+#include "simd/kernel_list.def"
+#undef INFRAME_SIMD_KERNEL
+};
+
+// Highest level this host can execute (scalar is always supported).
+Level best_supported();
+
+// Every level this host can execute, ascending (always starts at scalar).
+std::span<const Level> available_levels();
+
+// The level in effect: INFRAME_SIMD override (read once) or
+// best_supported(), unless set_active_level() replaced it.
+Level active_level();
+
+// The dispatch table for the active level. Cheap (one atomic load); hot
+// loops should still hoist the reference out of per-pixel code.
+const Kernels& kernels();
+
+// Table for a specific level; `level` must be in available_levels().
+const Kernels& kernels_for(Level level);
+
+// Test/bench hook: force a level (must be supported). Returns the
+// previous level. Not safe to call concurrently with running kernels.
+Level set_active_level(Level level);
+
+// Parses "scalar" | "sse2" | "avx2" | "neon" (case-insensitive); throws
+// Contract_violation on anything else.
+Level level_from_name(const std::string& name);
+
+} // namespace inframe::simd

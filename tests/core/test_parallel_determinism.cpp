@@ -14,6 +14,7 @@
 #include "imgproc/image_ops.hpp"
 #include "imgproc/resize.hpp"
 #include "imgproc/warp.hpp"
+#include "simd/simd.hpp"
 #include "util/thread_pool.hpp"
 
 #include <gtest/gtest.h>
@@ -197,6 +198,56 @@ TEST(ParallelDeterminism, ThreadsZeroMeansHardwareConcurrency)
     const auto serial = run_link_experiment(config);
     config.threads = 0; // hardware concurrency — still identical
     expect_identical_results(run_link_experiment(config), serial, 0);
+}
+
+// RAII pin of the SIMD dispatch level, restoring the previous level even
+// if an assertion throws mid-test.
+class Scoped_simd_level {
+public:
+    explicit Scoped_simd_level(simd::Level level) : previous_(simd::set_active_level(level)) {}
+    ~Scoped_simd_level() { simd::set_active_level(previous_); }
+    Scoped_simd_level(const Scoped_simd_level&) = delete;
+    Scoped_simd_level& operator=(const Scoped_simd_level&) = delete;
+
+private:
+    simd::Level previous_;
+};
+
+// The SIMD layer's end-to-end contract (src/simd/simd.hpp): decoded
+// payload bits — and every metric derived from them — are bit-identical
+// at every dispatch level, in every threads x frames_in_flight
+// configuration. The scalar reference run is the anchor; each available
+// vector level must reproduce it exactly, so INFRAME_SIMD only ever
+// changes speed, never results.
+TEST(ParallelDeterminism, DecodeIsSimdLevelInvariant)
+{
+    auto config = noisy_rig(Detector::noise_level);
+
+    config.threads = 1;
+    config.frames_in_flight = 1;
+    Link_experiment_result scalar_result;
+    {
+        const Scoped_simd_level pin(simd::Level::scalar);
+        scalar_result = run_link_experiment(config);
+    }
+    EXPECT_GT(scalar_result.data_frames, 0);
+
+    for (const simd::Level level : simd::available_levels()) {
+        const Scoped_simd_level pin(level);
+        for (const int threads : {1, 4}) {
+            for (const int frames_in_flight : {1, 4}) {
+                config.threads = threads;
+                config.frames_in_flight = frames_in_flight;
+                const auto result = run_link_experiment(config);
+                SCOPED_TRACE(std::string("level=") + simd::to_string(level)
+                             + " threads=" + std::to_string(threads)
+                             + " frames_in_flight=" + std::to_string(frames_in_flight));
+                expect_identical_results(result, scalar_result, threads);
+                EXPECT_EQ(result.payload_bit_error_rate,
+                          scalar_result.payload_bit_error_rate);
+            }
+        }
+    }
 }
 
 } // namespace

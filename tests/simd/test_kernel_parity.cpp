@@ -1,0 +1,432 @@
+// Differential parity harness for the SIMD kernel layer: every kernel in
+// src/simd/kernel_list.def is fuzzed with seeded random inputs and its
+// output at each available dispatch level compared BIT FOR BIT against the
+// scalar reference. The registry below (PARITY_KERNEL entries) is the
+// acceptance gate for new kernels — tests/CMakeLists.txt refuses to
+// configure if a kernel_list.def row has no entry here, and
+// RegistryCoversEveryKernel re-checks the same invariant at runtime.
+//
+// Case generation deliberately covers the classic vectorization traps:
+// sizes hitting every width-mod-lanes remainder, stride != width streams
+// for box_blur_h, uint8 saturation extremes (0/255-heavy buffers), exact
+// .5 rounding ties and their float neighbours for quantize_u8, and
+// negative zero in masked-out lanes.
+
+#include "simd/simd.hpp"
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace {
+
+using inframe::simd::Kernels;
+using inframe::simd::Level;
+
+constexpr int cases_per_kernel = 500;
+
+using Parity_fn = void (*)(const Kernels& ref, const Kernels& tst, std::mt19937& rng);
+
+std::map<std::string, Parity_fn>& registry()
+{
+    static std::map<std::string, Parity_fn> r;
+    return r;
+}
+
+bool register_parity(const char* name, Parity_fn fn)
+{
+    registry().emplace(name, fn);
+    return true;
+}
+
+// PARITY_KERNEL(name) { body } — defines one differential case generator
+// and registers it under the kernel's kernel_list.def name. The configure
+// guard in tests/CMakeLists.txt greps for these entries literally.
+#define PARITY_KERNEL(name)                                                                  \
+    void parity_case_##name(const Kernels& ref, const Kernels& tst, std::mt19937& rng);      \
+    const bool parity_registered_##name = register_parity(#name, parity_case_##name);        \
+    void parity_case_##name(const Kernels& ref, const Kernels& tst, std::mt19937& rng)
+
+// --- input generation -------------------------------------------------------
+
+int random_size(std::mt19937& rng)
+{
+    switch (rng() % 4u) {
+    case 0: return 1 + static_cast<int>(rng() % 16u); // every small remainder
+    case 1: {
+        const int lanes = 1 << (rng() % 6u); // exact multiples of 1..32
+        return lanes * (1 + static_cast<int>(rng() % 8u));
+    }
+    case 2: return 1 + static_cast<int>(rng() % 300u);
+    default: return 513 + static_cast<int>(rng() % 64u);
+    }
+}
+
+float random_float(std::mt19937& rng)
+{
+    switch (rng() % 8u) {
+    case 0: return 0.0f;
+    case 1: return -0.0f;
+    case 2: // exact rounding tie in the 8-bit domain
+        return static_cast<float>(rng() % 256u) + 0.5f;
+    case 3: // one ulp above/below a tie
+        return std::nextafterf(static_cast<float>(rng() % 256u) + 0.5f,
+                               (rng() % 2u) ? 1000.0f : -1000.0f);
+    default:
+        return std::uniform_real_distribution<float>(-320.0f, 320.0f)(rng);
+    }
+}
+
+std::vector<float> random_floats(std::mt19937& rng, int n)
+{
+    std::vector<float> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = random_float(rng);
+    return v;
+}
+
+std::vector<double> random_doubles(std::mt19937& rng, int n)
+{
+    std::vector<double> v(static_cast<std::size_t>(n));
+    std::uniform_real_distribution<double> dist(-1.0e6, 1.0e6);
+    for (auto& x : v) x = dist(rng);
+    return v;
+}
+
+std::vector<std::uint8_t> random_bytes(std::mt19937& rng, int n)
+{
+    std::vector<std::uint8_t> v(static_cast<std::size_t>(n));
+    for (auto& x : v) {
+        // Bias toward the saturation extremes: a quarter of all bytes are
+        // exactly 0 or 255 so adds/subtracts clip constantly.
+        const auto roll = rng() % 4u;
+        x = roll == 0 ? static_cast<std::uint8_t>((rng() % 2u) ? 255 : 0)
+                      : static_cast<std::uint8_t>(rng() % 256u);
+    }
+    return v;
+}
+
+// --- bitwise comparison -----------------------------------------------------
+
+template <typename T>
+void expect_bitwise_equal(const std::vector<T>& want, const std::vector<T>& got,
+                          const char* what)
+{
+    ASSERT_EQ(want.size(), got.size()) << what;
+    if (std::memcmp(want.data(), got.data(), want.size() * sizeof(T)) == 0) return;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        if (std::memcmp(&want[i], &got[i], sizeof(T)) != 0) {
+            FAIL() << what << ": first divergence at element " << i << ": scalar="
+                   << +want[i] << " vector=" << +got[i] << " (n=" << want.size() << ")";
+        }
+    }
+}
+
+void expect_bits_equal(double want, double got, const char* what)
+{
+    std::uint64_t wb = 0;
+    std::uint64_t gb = 0;
+    std::memcpy(&wb, &want, sizeof wb);
+    std::memcpy(&gb, &got, sizeof gb);
+    EXPECT_EQ(wb, gb) << what << ": scalar=" << want << " vector=" << got;
+}
+
+// --- per-kernel case generators --------------------------------------------
+
+void binary_f32_case(void (*rfn)(const float*, const float*, float*, int),
+                     void (*tfn)(const float*, const float*, float*, int), std::mt19937& rng,
+                     const char* what)
+{
+    const int n = random_size(rng);
+    const auto a = random_floats(rng, n);
+    const auto b = random_floats(rng, n);
+    std::vector<float> want(static_cast<std::size_t>(n));
+    std::vector<float> got(static_cast<std::size_t>(n));
+    rfn(a.data(), b.data(), want.data(), n);
+    tfn(a.data(), b.data(), got.data(), n);
+    expect_bitwise_equal(want, got, what);
+}
+
+PARITY_KERNEL(add_f32) { binary_f32_case(ref.add_f32, tst.add_f32, rng, "add_f32"); }
+PARITY_KERNEL(sub_f32) { binary_f32_case(ref.sub_f32, tst.sub_f32, rng, "sub_f32"); }
+PARITY_KERNEL(absdiff_f32)
+{
+    binary_f32_case(ref.absdiff_f32, tst.absdiff_f32, rng, "absdiff_f32");
+}
+
+PARITY_KERNEL(clamp_f32)
+{
+    const int n = random_size(rng);
+    auto lo = std::uniform_real_distribution<float>(-300.0f, 100.0f)(rng);
+    auto hi = lo + std::uniform_real_distribution<float>(0.0f, 400.0f)(rng);
+    auto want = random_floats(rng, n);
+    auto got = want;
+    ref.clamp_f32(want.data(), n, lo, hi);
+    tst.clamp_f32(got.data(), n, lo, hi);
+    expect_bitwise_equal(want, got, "clamp_f32");
+}
+
+PARITY_KERNEL(masked_add_f32)
+{
+    const int n = random_size(rng);
+    const float delta = random_float(rng);
+    std::vector<std::uint32_t> mask(static_cast<std::size_t>(n));
+    for (auto& m : mask) m = (rng() % 2u) ? ~std::uint32_t{0} : 0u;
+    auto want = random_floats(rng, n); // contains -0.0f lanes: they must survive untouched
+    auto got = want;
+    ref.masked_add_f32(want.data(), mask.data(), n, delta);
+    tst.masked_add_f32(got.data(), mask.data(), n, delta);
+    expect_bitwise_equal(want, got, "masked_add_f32");
+}
+
+PARITY_KERNEL(quantize_u8)
+{
+    const int n = random_size(rng);
+    const auto in = random_floats(rng, n); // ties, near-ties, out-of-range values
+    std::vector<std::uint8_t> want(static_cast<std::size_t>(n));
+    std::vector<std::uint8_t> got(static_cast<std::size_t>(n));
+    ref.quantize_u8(in.data(), want.data(), n);
+    tst.quantize_u8(in.data(), got.data(), n);
+    expect_bitwise_equal(want, got, "quantize_u8");
+}
+
+PARITY_KERNEL(widen_u8)
+{
+    const int n = random_size(rng);
+    const auto in = random_bytes(rng, n);
+    std::vector<float> want(static_cast<std::size_t>(n));
+    std::vector<float> got(static_cast<std::size_t>(n));
+    ref.widen_u8(in.data(), want.data(), n);
+    tst.widen_u8(in.data(), got.data(), n);
+    expect_bitwise_equal(want, got, "widen_u8");
+}
+
+void binary_u8_case(void (*rfn)(const std::uint8_t*, const std::uint8_t*, std::uint8_t*, int),
+                    void (*tfn)(const std::uint8_t*, const std::uint8_t*, std::uint8_t*, int),
+                    std::mt19937& rng, const char* what)
+{
+    const int n = random_size(rng);
+    const auto a = random_bytes(rng, n);
+    const auto b = random_bytes(rng, n);
+    std::vector<std::uint8_t> want(static_cast<std::size_t>(n));
+    std::vector<std::uint8_t> got(static_cast<std::size_t>(n));
+    rfn(a.data(), b.data(), want.data(), n);
+    tfn(a.data(), b.data(), got.data(), n);
+    expect_bitwise_equal(want, got, what);
+}
+
+PARITY_KERNEL(add_sat_u8) { binary_u8_case(ref.add_sat_u8, tst.add_sat_u8, rng, "add_sat_u8"); }
+PARITY_KERNEL(sub_sat_u8) { binary_u8_case(ref.sub_sat_u8, tst.sub_sat_u8, rng, "sub_sat_u8"); }
+PARITY_KERNEL(absdiff_u8) { binary_u8_case(ref.absdiff_u8, tst.absdiff_u8, rng, "absdiff_u8"); }
+
+PARITY_KERNEL(residual_energy_u8)
+{
+    const int n = random_size(rng);
+    const auto a = random_bytes(rng, n);
+    const auto b = random_bytes(rng, n);
+    EXPECT_EQ(ref.residual_energy_u8(a.data(), b.data(), n),
+              tst.residual_energy_u8(a.data(), b.data(), n))
+        << "residual_energy_u8 (n=" << n << ")";
+}
+
+PARITY_KERNEL(row_sum_f64)
+{
+    const int n = random_size(rng);
+    const auto p = random_floats(rng, n);
+    expect_bits_equal(ref.row_sum_f64(p.data(), n), tst.row_sum_f64(p.data(), n),
+                      "row_sum_f64");
+}
+
+PARITY_KERNEL(vblur_accum)
+{
+    const int n = random_size(rng);
+    const auto row = random_floats(rng, n);
+    auto want = random_doubles(rng, n);
+    auto got = want;
+    ref.vblur_accum(want.data(), row.data(), n);
+    tst.vblur_accum(got.data(), row.data(), n);
+    expect_bitwise_equal(want, got, "vblur_accum");
+}
+
+PARITY_KERNEL(vblur_update)
+{
+    const int n = random_size(rng);
+    const auto enter = random_floats(rng, n);
+    const auto leave = random_floats(rng, n);
+    auto want = random_doubles(rng, n);
+    auto got = want;
+    ref.vblur_update(want.data(), enter.data(), leave.data(), n);
+    tst.vblur_update(got.data(), enter.data(), leave.data(), n);
+    expect_bitwise_equal(want, got, "vblur_update");
+}
+
+PARITY_KERNEL(vblur_store)
+{
+    const int n = random_size(rng);
+    const float norm = 1.0f / static_cast<float>(1 + rng() % 31u);
+    const auto acc = random_doubles(rng, n);
+    std::vector<float> want(static_cast<std::size_t>(n));
+    std::vector<float> got(static_cast<std::size_t>(n));
+    ref.vblur_store(acc.data(), want.data(), n, norm);
+    tst.vblur_store(acc.data(), got.data(), n, norm);
+    expect_bitwise_equal(want, got, "vblur_store");
+}
+
+PARITY_KERNEL(box_blur_h)
+{
+    // 1..12 streams exercises both full vector groups and remainder lanes;
+    // stride > 1 models channel-interleaved rows (stride != width always).
+    const int lanes = 1 + static_cast<int>(rng() % 12u);
+    const int width = 1 + static_cast<int>(rng() % 64u);
+    const int stride = 1 + static_cast<int>(rng() % 4u);
+    const int radius = static_cast<int>(rng() % 11u);
+    const int values = (width - 1) * stride + 1;
+
+    std::vector<std::vector<float>> src(static_cast<std::size_t>(lanes));
+    std::vector<std::vector<float>> want(static_cast<std::size_t>(lanes));
+    std::vector<std::vector<float>> got(static_cast<std::size_t>(lanes));
+    std::vector<const float*> src_ptr(static_cast<std::size_t>(lanes));
+    std::vector<float*> want_ptr(static_cast<std::size_t>(lanes));
+    std::vector<float*> got_ptr(static_cast<std::size_t>(lanes));
+    for (int lane = 0; lane < lanes; ++lane) {
+        const auto s = static_cast<std::size_t>(lane);
+        src[s] = random_floats(rng, values);
+        want[s].assign(static_cast<std::size_t>(values), 0.0f);
+        got[s].assign(static_cast<std::size_t>(values), 0.0f);
+        src_ptr[s] = src[s].data();
+        want_ptr[s] = want[s].data();
+        got_ptr[s] = got[s].data();
+    }
+    ref.box_blur_h(src_ptr.data(), want_ptr.data(), lanes, width, stride, radius);
+    tst.box_blur_h(src_ptr.data(), got_ptr.data(), lanes, width, stride, radius);
+    for (int lane = 0; lane < lanes; ++lane) {
+        const auto s = static_cast<std::size_t>(lane);
+        expect_bitwise_equal(want[s], got[s], "box_blur_h");
+    }
+}
+
+PARITY_KERNEL(bilinear_row)
+{
+    const int n = random_size(rng);
+    const int src_w = 1 + static_cast<int>(rng() % 128u);
+    const auto row0 = random_floats(rng, src_w);
+    const auto row1 = random_floats(rng, src_w);
+    std::vector<std::int32_t> idx0(static_cast<std::size_t>(n));
+    std::vector<std::int32_t> idx1(static_cast<std::size_t>(n));
+    std::vector<float> tx(static_cast<std::size_t>(n));
+    std::uniform_real_distribution<float> frac(0.0f, 1.0f);
+    for (int i = 0; i < n; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        idx0[s] = static_cast<std::int32_t>(rng() % static_cast<unsigned>(src_w));
+        idx1[s] = std::min(idx0[s] + 1, src_w - 1);
+        tx[s] = frac(rng);
+    }
+    const float ty = frac(rng);
+    std::vector<float> want(static_cast<std::size_t>(n));
+    std::vector<float> got(static_cast<std::size_t>(n));
+    ref.bilinear_row(row0.data(), row1.data(), idx0.data(), idx1.data(), tx.data(), ty,
+                     want.data(), n);
+    tst.bilinear_row(row0.data(), row1.data(), idx0.data(), idx1.data(), tx.data(), ty,
+                     got.data(), n);
+    expect_bitwise_equal(want, got, "bilinear_row");
+}
+
+// --- the differential fuzzer ------------------------------------------------
+
+class KernelParity : public ::testing::TestWithParam<Level> {};
+
+TEST_P(KernelParity, VectorMatchesScalarBitForBit)
+{
+    const Level level = GetParam();
+    const Kernels& ref = inframe::simd::kernels_for(Level::scalar);
+    const Kernels& tst = inframe::simd::kernels_for(level);
+    for (const auto& [name, fn] : registry()) {
+        SCOPED_TRACE(std::string("kernel=") + name + " level="
+                     + inframe::simd::to_string(level));
+        // One fixed seed per (kernel, level): failures replay exactly.
+        std::mt19937 rng(0xC0DEC0DEu ^ (std::hash<std::string>{}(name) & 0xFFFFFFu)
+                         ^ (static_cast<unsigned>(level) << 24));
+        for (int i = 0; i < cases_per_kernel; ++i) {
+            fn(ref, tst, rng);
+            if (::testing::Test::HasFatalFailure()) return;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, KernelParity,
+                         ::testing::ValuesIn(inframe::simd::available_levels().begin(),
+                                             inframe::simd::available_levels().end()),
+                         [](const ::testing::TestParamInfo<Level>& info) {
+                             return std::string(inframe::simd::to_string(info.param));
+                         });
+
+// --- registry / dispatch invariants ----------------------------------------
+
+TEST(KernelParityRegistry, RegistryCoversEveryKernel)
+{
+    static const char* const kernel_names[] = {
+#define INFRAME_SIMD_KERNEL(name, ret, args) #name,
+#include "simd/kernel_list.def"
+#undef INFRAME_SIMD_KERNEL
+    };
+    for (const char* name : kernel_names) {
+        EXPECT_TRUE(registry().count(name) == 1)
+            << "kernel " << name << " has no PARITY_KERNEL entry";
+    }
+    EXPECT_EQ(registry().size(), std::size(kernel_names))
+        << "parity registry has entries for kernels not in kernel_list.def";
+}
+
+TEST(KernelParityRegistry, EveryTableSlotIsPopulated)
+{
+    for (const Level level : inframe::simd::available_levels()) {
+        const Kernels& k = inframe::simd::kernels_for(level);
+#define INFRAME_SIMD_KERNEL(name, ret, args)                                                 \
+    EXPECT_NE(k.name, nullptr) << #name << " missing at level "                              \
+                               << inframe::simd::to_string(level);
+#include "simd/kernel_list.def"
+#undef INFRAME_SIMD_KERNEL
+    }
+}
+
+TEST(SimdDispatch, LevelsAreCoherent)
+{
+    const auto levels = inframe::simd::available_levels();
+    ASSERT_FALSE(levels.empty());
+    EXPECT_EQ(levels.front(), Level::scalar);
+    bool best_listed = false;
+    for (const Level level : levels) best_listed |= (level == inframe::simd::best_supported());
+    EXPECT_TRUE(best_listed);
+}
+
+TEST(SimdDispatch, SetActiveLevelRoundTrips)
+{
+    const Level before = inframe::simd::active_level();
+    const Level prev = inframe::simd::set_active_level(Level::scalar);
+    EXPECT_EQ(prev, before);
+    EXPECT_EQ(inframe::simd::active_level(), Level::scalar);
+    EXPECT_EQ(&inframe::simd::kernels(), &inframe::simd::kernels_for(Level::scalar));
+    inframe::simd::set_active_level(before);
+    EXPECT_EQ(inframe::simd::active_level(), before);
+}
+
+TEST(SimdDispatch, LevelNamesParse)
+{
+    EXPECT_EQ(inframe::simd::level_from_name("scalar"), Level::scalar);
+    EXPECT_EQ(inframe::simd::level_from_name("SSE2"), Level::sse2);
+    EXPECT_EQ(inframe::simd::level_from_name("Avx2"), Level::avx2);
+    EXPECT_EQ(inframe::simd::level_from_name("neon"), Level::neon);
+    EXPECT_THROW(inframe::simd::level_from_name("avx512"),
+                 inframe::util::Contract_violation);
+    for (const Level level : {Level::scalar, Level::sse2, Level::avx2, Level::neon}) {
+        EXPECT_EQ(inframe::simd::level_from_name(inframe::simd::to_string(level)), level);
+    }
+}
+
+} // namespace
